@@ -1,0 +1,1 @@
+"""Benchmark package (enables relative conftest imports)."""

@@ -1,0 +1,58 @@
+"""Fig. 11 — TP set operations on the WebKit-like dataset.
+
+The WebKit regime — very many facts, few intervals each, extreme
+boundary bursts — is the one where NORM's groups shrink (relatively
+better) and the Timeline Index must pair huge numbers of tuples at the
+burst points (relatively worse), per the paper's Section VII-C analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import get_algorithm
+
+_FAST = ("LAWA", "OIP", "NORM")  # NORM benefits from the many facts here
+
+
+def _pair_for(approach: str, pair):
+    from repro.bench import sample_relation
+
+    r, s = pair
+    if approach in _FAST:
+        return r, s
+    n = max(64, len(r) // 4)
+    return sample_relation(r, n, seed=2), sample_relation(s, n, seed=3)
+
+
+@pytest.mark.parametrize("approach", ["LAWA", "NORM", "TPDB", "OIP", "TI"])
+def test_fig11a_intersection(benchmark, approach, webkit_pair):
+    benchmark.group = "fig11a-webkit-intersection"
+    r, s = _pair_for(approach, webkit_pair)
+    algorithm = get_algorithm(approach)
+    result = benchmark.pedantic(
+        lambda: algorithm.compute("intersect", r, s), rounds=2, iterations=1
+    )
+    assert result is not None
+
+
+@pytest.mark.parametrize("approach", ["LAWA", "NORM"])
+def test_fig11b_difference(benchmark, approach, webkit_pair):
+    benchmark.group = "fig11b-webkit-difference"
+    r, s = _pair_for(approach, webkit_pair)
+    algorithm = get_algorithm(approach)
+    result = benchmark.pedantic(
+        lambda: algorithm.compute("except", r, s), rounds=2, iterations=1
+    )
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("approach", ["LAWA", "NORM", "TPDB"])
+def test_fig11c_union(benchmark, approach, webkit_pair):
+    benchmark.group = "fig11c-webkit-union"
+    r, s = _pair_for(approach, webkit_pair)
+    algorithm = get_algorithm(approach)
+    result = benchmark.pedantic(
+        lambda: algorithm.compute("union", r, s), rounds=2, iterations=1
+    )
+    assert len(result) > 0

@@ -1,0 +1,48 @@
+"""Fig. 7 — runtime of TP set operations on small synthetic datasets.
+
+Paper setting: 20K–200K tuples, one fact, overlapping factor 0.6; here
+the shared dataset defaults to 1K tuples (REPRO_BENCH_SCALE rescales) so
+the quadratic baselines stay benchmarkable.  One benchmark per
+(operation, approach) pair of Table II — the series the three Fig. 7
+panels plot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import algorithms_supporting
+
+INTERSECT = [a.name for a in algorithms_supporting("intersect")]
+EXCEPT = [a.name for a in algorithms_supporting("except")]
+UNION = [a.name for a in algorithms_supporting("union")]
+
+
+def _run(benchmark, name: str, op: str, pair):
+    from repro.baselines import get_algorithm
+
+    r, s = pair
+    algorithm = get_algorithm(name)
+    result = benchmark(lambda: algorithm.compute(op, r, s))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("approach", INTERSECT)
+def test_fig7a_intersection(benchmark, approach, synthetic_small):
+    """Fig. 7a: set intersection, every Table-II approach."""
+    benchmark.group = "fig7a-intersection"
+    _run(benchmark, approach, "intersect", synthetic_small)
+
+
+@pytest.mark.parametrize("approach", EXCEPT)
+def test_fig7b_difference(benchmark, approach, synthetic_small):
+    """Fig. 7b: set difference — only LAWA and NORM support it."""
+    benchmark.group = "fig7b-difference"
+    _run(benchmark, approach, "except", synthetic_small)
+
+
+@pytest.mark.parametrize("approach", UNION)
+def test_fig7c_union(benchmark, approach, synthetic_small):
+    """Fig. 7c: set union — LAWA, NORM and TPDB."""
+    benchmark.group = "fig7c-union"
+    _run(benchmark, approach, "union", synthetic_small)

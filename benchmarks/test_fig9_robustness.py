@@ -1,0 +1,49 @@
+"""Fig. 9 — robustness of LAWA vs. dataset characteristics.
+
+Fig. 9a: runtime across the Table-III overlapping-factor configurations
+(LAWA must stay flat; OIP degrades with the factor).  Fig. 9b: runtime
+across distinct-fact counts at fixed size (LAWA flat; the baselines
+move).  Paper sizes 30M/60K → ours default 5K/3K.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import get_algorithm
+from repro.datasets import TABLE_III_CONFIGS, generate_pair
+
+from .conftest import scaled
+
+_OF_PAIRS = {
+    nominal: generate_pair(scaled(5_000), seed=0, **config)
+    for nominal, config in sorted(TABLE_III_CONFIGS.items())
+}
+
+_FACT_PAIRS = {
+    n_facts: generate_pair(scaled(2_000), n_facts=n_facts, seed=0)
+    for n_facts in (1, 5, 10, 100, 1_000)
+}
+
+
+@pytest.mark.parametrize("approach", ["LAWA", "OIP"])
+@pytest.mark.parametrize("nominal", sorted(TABLE_III_CONFIGS))
+def test_fig9a_overlap_factor(benchmark, approach, nominal):
+    benchmark.group = f"fig9a-overlap-{nominal}"
+    r, s = _OF_PAIRS[nominal]
+    algorithm = get_algorithm(approach)
+    benchmark(lambda: algorithm.compute("intersect", r, s))
+
+
+@pytest.mark.parametrize(
+    "approach", ["LAWA", "NORM", "TPDB", "OIP", "TI"]
+)
+@pytest.mark.parametrize("n_facts", [1, 5, 10, 100, 1_000])
+def test_fig9b_fact_count(benchmark, approach, n_facts):
+    benchmark.group = f"fig9b-facts-{n_facts}"
+    r, s = _FACT_PAIRS[n_facts]
+    algorithm = get_algorithm(approach)
+    result = benchmark.pedantic(
+        lambda: algorithm.compute("intersect", r, s), rounds=1, iterations=1
+    )
+    assert result is not None

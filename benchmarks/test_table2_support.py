@@ -1,0 +1,24 @@
+"""Table II — the approach/operation support matrix.
+
+Not a timing experiment in the paper; here the matrix generation is
+benchmarked trivially so the exhibit participates in the
+``--benchmark-only`` run, and its content is asserted to match Table II.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import support_matrix
+from repro.bench import table2
+
+
+def test_table2_support_matrix(benchmark):
+    benchmark.group = "table2"
+    text = benchmark(table2)
+    assert "LAWA" in text
+
+    matrix = support_matrix()
+    assert matrix["LAWA"] == {"union": True, "intersect": True, "except": True}
+    assert matrix["NORM"] == {"union": True, "intersect": True, "except": True}
+    assert matrix["TPDB"] == {"union": True, "intersect": True, "except": False}
+    assert matrix["OIP"] == {"union": False, "intersect": True, "except": False}
+    assert matrix["TI"] == {"union": False, "intersect": True, "except": False}

@@ -1,0 +1,31 @@
+"""Table IV — characteristics of the (simulated) real-world datasets.
+
+Benchmarks the statistics computation and asserts the regime properties
+the paper's analysis relies on: Meteo = few facts × many intervals,
+WebKit = many facts × few intervals with boundary bursts.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import dataset_stats
+from repro.datasets.meteo import STEP_SECONDS
+
+
+def test_table4_meteo_stats(benchmark, meteo_pair):
+    benchmark.group = "table4"
+    base, _ = meteo_pair
+    stats = benchmark(lambda: dataset_stats(base))
+    assert stats.n_facts == 80
+    assert stats.min_duration >= STEP_SECONDS
+    assert stats.min_duration % STEP_SECONDS == 0
+    assert stats.cardinality / stats.n_facts > 10  # many intervals per fact
+
+
+def test_table4_webkit_stats(benchmark, webkit_pair):
+    benchmark.group = "table4"
+    base, _ = webkit_pair
+    stats = benchmark(lambda: dataset_stats(base))
+    assert stats.n_facts > stats.cardinality / 10  # few intervals per fact
+    # The burst property that hurts the Timeline Index (the paper's 369K
+    # tuples at a single point, scaled down).
+    assert stats.max_boundary_burst > stats.cardinality / 100

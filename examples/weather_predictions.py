@@ -1,0 +1,75 @@
+"""Temporal weather predictions — the Meteo-Swiss motivation of the paper.
+
+Two forecast providers publish per-station temperature-plateau
+predictions with confidences.  TP set operations answer questions the
+intro of the paper motivates:
+
+* consensus  (∩Tp): when do *both* providers predict a plateau — and with
+  which combined confidence?
+* coverage   (∪Tp): when does at least one provider make a prediction?
+* exclusive  (−Tp): when does provider A predict something provider B
+  does not confirm?
+
+Run:  python examples/weather_predictions.py
+"""
+
+from __future__ import annotations
+
+from repro import tp_except, tp_intersect, tp_union
+from repro.datasets import (
+    MeteoConfig,
+    dataset_stats,
+    generate_meteo,
+    overlapping_factor,
+    render_stats_table,
+    shifted_counterpart,
+)
+
+
+def main() -> None:
+    # Provider A: the simulated Meteo-Swiss feed (80 stations).
+    provider_a = generate_meteo("providerA", MeteoConfig(2_000, seed=7))
+    # Provider B: same station fleet, independently timed predictions.
+    provider_b = shifted_counterpart(provider_a, name="providerB", seed=8)
+
+    print("=== Dataset characteristics (cf. Table IV of the paper) ===")
+    print(render_stats_table(dataset_stats(provider_a), dataset_stats(provider_b)))
+    print(f"\noverlapping factor A vs B: {overlapping_factor(provider_a, provider_b):.3f}")
+
+    consensus = tp_intersect(provider_a, provider_b)
+    coverage = tp_union(provider_a, provider_b)
+    exclusive = tp_except(provider_a, provider_b)
+
+    print("\n=== Result sizes ===")
+    print(f"consensus (A ∩Tp B): {len(consensus):6d} tuples")
+    print(f"coverage  (A ∪Tp B): {len(coverage):6d} tuples")
+    print(f"exclusive (A −Tp B): {len(exclusive):6d} tuples")
+
+    # Rank stations by their most confident consensus plateau.
+    print("\n=== Top-5 consensus plateaus by combined confidence ===")
+    best = sorted(consensus, key=lambda t: t.p or 0.0, reverse=True)[:5]
+    for t in best:
+        hours = t.interval.duration / 3600
+        print(
+            f"  {t.fact[0]}: {t.interval} ({hours:.1f} h) "
+            f"p={t.p:.3f}  λ={t.lineage}"
+        )
+
+    # Probability-threshold selection on a set-operation result: where is
+    # provider A's exclusive prediction still a confident one?
+    confident_exclusive = exclusive.where(lambda t: (t.p or 0.0) >= 0.5)
+    print(
+        f"\nexclusive predictions with p ≥ 0.5: "
+        f"{len(confident_exclusive)} of {len(exclusive)}"
+    )
+
+    # Per-station drill-down, like the paper's σ-selection example (Fig. 6).
+    station = sorted(provider_a.facts())[0][0]
+    a_station = provider_a.select(station=station)
+    b_station = provider_b.select(station=station)
+    print(f"\n=== σ[station={station!r}](A) −Tp σ[station={station!r}](B) ===")
+    print(tp_except(a_station, b_station).to_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package
+and has no network access, so PEP 517/660 editable installs (which build a
+wheel) fail.  This shim enables ``pip install -e . --no-use-pep517``.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

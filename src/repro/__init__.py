@@ -1,0 +1,157 @@
+"""repro — temporal-probabilistic set operations with lineage-aware windows.
+
+A from-scratch reproduction of *Supporting Set Operations in
+Temporal-Probabilistic Databases* (Papaioannou, Theobald, Böhlen,
+ICDE 2018): the sequenced TP data model, lineage machinery, the LAWA
+sweep algorithm, every baseline of the paper's evaluation (NORM, TPDB,
+OIP, Timeline Index), workload generators and a benchmark harness that
+regenerates the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import TPRelation, tp_union, tp_except
+>>> a = TPRelation.from_rows("a", ("product",), [
+...     ("milk", 2, 10, 0.3), ("chips", 4, 7, 0.8), ("dates", 1, 3, 0.6)])
+>>> b = TPRelation.from_rows("b", ("product",), [
+...     ("milk", 5, 9, 0.6), ("chips", 3, 6, 0.9)])
+>>> c = TPRelation.from_rows("c", ("product",), [
+...     ("milk", 1, 4, 0.6), ("milk", 6, 8, 0.7),
+...     ("chips", 4, 5, 0.7), ("chips", 7, 9, 0.8)])
+>>> result = tp_except(c, tp_union(a, b))   # Q = c −Tp (a ∪Tp b)
+>>> len(result)
+5
+"""
+
+from .algebra import (
+    StepFunction,
+    expected_count,
+    expected_sum,
+    stream_except,
+    stream_intersect,
+    stream_union,
+    tp_join,
+    tp_project,
+)
+from .core import (
+    AllenRelation,
+    DuplicateFactError,
+    Fact,
+    Interval,
+    InvalidIntervalError,
+    LawaSweep,
+    LineageWindow,
+    QueryParseError,
+    SchemaMismatchError,
+    TPError,
+    TPRelation,
+    TPSchema,
+    TPTuple,
+    UnknownRelationError,
+    UnknownVariableError,
+    UnsupportedOperationError,
+    ValuationError,
+    allen_relation,
+    base_tuple,
+    coalesce,
+    is_coalesced,
+    lawa_windows,
+    make_fact,
+    multi_intersect,
+    multi_union,
+    render_timeline,
+    render_windows,
+    snapshot_lineages,
+    timeslice,
+    tp_except,
+    tp_intersect,
+    tp_set_operation,
+    tp_union,
+)
+from .lineage import (
+    And,
+    Lineage,
+    Not,
+    Or,
+    Var,
+    concat_and,
+    concat_and_not,
+    concat_or,
+    is_one_occurrence_form,
+    land,
+    lnot,
+    lor,
+    parse_lineage,
+)
+from .prob import (
+    Method,
+    probability,
+    probability_1of,
+    probability_bdd,
+    probability_montecarlo,
+    probability_shannon,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllenRelation",
+    "And",
+    "DuplicateFactError",
+    "StepFunction",
+    "expected_count",
+    "expected_sum",
+    "stream_except",
+    "stream_intersect",
+    "stream_union",
+    "tp_join",
+    "tp_project",
+    "Fact",
+    "Interval",
+    "InvalidIntervalError",
+    "LawaSweep",
+    "Lineage",
+    "LineageWindow",
+    "Method",
+    "Not",
+    "Or",
+    "QueryParseError",
+    "SchemaMismatchError",
+    "TPError",
+    "TPRelation",
+    "TPSchema",
+    "TPTuple",
+    "UnknownRelationError",
+    "UnknownVariableError",
+    "UnsupportedOperationError",
+    "ValuationError",
+    "Var",
+    "allen_relation",
+    "base_tuple",
+    "coalesce",
+    "concat_and",
+    "concat_and_not",
+    "concat_or",
+    "is_coalesced",
+    "is_one_occurrence_form",
+    "land",
+    "lawa_windows",
+    "lnot",
+    "lor",
+    "make_fact",
+    "multi_intersect",
+    "multi_union",
+    "parse_lineage",
+    "render_timeline",
+    "render_windows",
+    "probability",
+    "probability_1of",
+    "probability_bdd",
+    "probability_montecarlo",
+    "probability_shannon",
+    "snapshot_lineages",
+    "timeslice",
+    "tp_except",
+    "tp_intersect",
+    "tp_set_operation",
+    "tp_union",
+]

@@ -1,0 +1,22 @@
+"""Relational algebra beyond set operations (the paper's §VIII outlook).
+
+TP equi-join, projection with duplicate elimination, expected-value
+aggregation, and streaming (constant-space) variants of the three set
+operations.
+"""
+
+from .aggregate import StepFunction, expected_count, expected_sum
+from .join import tp_join
+from .project import tp_project
+from .streaming import stream_except, stream_intersect, stream_union
+
+__all__ = [
+    "StepFunction",
+    "expected_count",
+    "expected_sum",
+    "stream_except",
+    "stream_intersect",
+    "stream_union",
+    "tp_join",
+    "tp_project",
+]

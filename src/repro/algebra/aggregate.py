@@ -1,0 +1,117 @@
+"""Expected-value temporal aggregation over TP relations.
+
+Under the possible-worlds semantics, the *expected* value of an
+aggregate at time point t follows from linearity of expectation without
+enumerating worlds:
+
+* ``E[COUNT at t]``  = Σ P(tuple valid at t)
+* ``E[SUM(A) at t]`` = Σ value(A) · P(tuple valid at t)
+
+Both are step functions of time; change preservation applies in spirit —
+consecutive time points with the same expected value and the same set of
+contributing tuples merge into maximal intervals.  Expected aggregates
+are exactly computable in O(n log n) even where distribution-returning
+aggregation would be exponential, which makes them the natural first
+aggregation operator for a TP engine (the paper defers aggregation to
+future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.interval import Interval
+from ..core.relation import TPRelation
+
+__all__ = ["StepFunction", "expected_count", "expected_sum"]
+
+
+@dataclass(frozen=True, slots=True)
+class StepFunction:
+    """A piecewise-constant function of time: [(interval, value), …].
+
+    Pieces are disjoint, sorted, maximal (adjacent pieces differ in
+    value) and omit regions where no tuple is valid (value 0 there).
+    """
+
+    pieces: tuple[tuple[Interval, float], ...]
+
+    def at(self, t: int) -> float:
+        """The value at time point ``t`` (0 outside all pieces)."""
+        for interval, value in self.pieces:
+            if interval.contains_point(t):
+                return value
+        return 0.0
+
+    def support(self) -> Optional[Interval]:
+        """The covered time range, or None for the empty function."""
+        if not self.pieces:
+            return None
+        return Interval(self.pieces[0][0].start, self.pieces[-1][0].end)
+
+    def __iter__(self):
+        return iter(self.pieces)
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+
+def expected_count(relation: TPRelation) -> StepFunction:
+    """E[COUNT] over time: the expected number of valid tuples.
+
+    >>> from repro import TPRelation
+    >>> r = TPRelation.from_rows("r", ("x",), [
+    ...     ("a", 1, 5, 0.5), ("b", 3, 7, 0.25)])
+    >>> [(str(iv), v) for iv, v in expected_count(r)]
+    [('[1,3)', 0.5), ('[3,5)', 0.75), ('[5,7)', 0.25)]
+    """
+    return _sweep(relation, lambda t: t.p if t.p is not None else 0.0)
+
+
+def expected_sum(relation: TPRelation, attribute: str) -> StepFunction:
+    """E[SUM(attribute)] over time; the attribute must be numeric."""
+    index = relation.schema.index_of(attribute)
+
+    def weight(t) -> float:
+        value = t.fact[index]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeError(
+                f"SUM needs a numeric attribute; got {value!r} in {t}"
+            )
+        return float(value) * (t.p if t.p is not None else 0.0)
+
+    return _sweep(relation, weight)
+
+
+def _sweep(relation: TPRelation, weight: Callable) -> StepFunction:
+    events: list[tuple[int, int, float]] = []
+    for t in relation:
+        w = weight(t)
+        events.append((t.start, +1, w))
+        events.append((t.end, -1, -w))
+    if not events:
+        return StepFunction(())
+    events.sort(key=lambda e: e[0])
+
+    pieces: list[tuple[Interval, float]] = []
+    level = 0.0
+    active = 0
+    prev_point: Optional[int] = None
+    index = 0
+    n = len(events)
+    while index < n:
+        point = events[index][0]
+        if prev_point is not None and active > 0 and point > prev_point:
+            value = round(level, 12)  # damp float drift across +/- pairs
+            if pieces and pieces[-1][0].end == prev_point and pieces[-1][1] == value:
+                pieces[-1] = (Interval(pieces[-1][0].start, point), value)
+            else:
+                pieces.append((Interval(prev_point, point), value))
+        while index < n and events[index][0] == point:
+            _, step, delta = events[index]
+            level += delta
+            active += step
+            index += 1
+        prev_point = point
+    return StepFunction(tuple(pieces))

@@ -1,0 +1,170 @@
+"""TP equi-join — the first piece of the paper's §VIII future work.
+
+The paper's outlook ("we intend to investigate … support for full
+relational algebra") calls for operators beyond set operations.  A
+sequenced TP join follows directly from the same two principles the set
+operations are built on:
+
+* **snapshot reducibility** — at each time point, join the probabilistic
+  snapshots: output tuples pair a left and a right tuple whose facts
+  agree on the join attributes, with lineage ``λr ∧ λs``;
+* **change preservation** — output intervals are the maximal periods over
+  which the *same pair* contributes, i.e. the pairwise interval overlaps
+  (two different pairs always differ in lineage, so overlaps are already
+  maximal).
+
+Unlike set operations, the two schemas need not be compatible, and a
+join key may group *many* facts per side, so duplicate-freeness does not
+limit concurrency within a group.  The implementation therefore hash-
+partitions on the join key and runs an event sweep per partition with
+active sets on both sides — O(n log n + output).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.errors import SchemaMismatchError
+from ..core.interval import Interval
+from ..core.relation import TPRelation
+from ..core.schema import TPSchema
+from ..core.tuple import TPTuple
+from ..lineage.concat import concat_and
+from ..prob.valuation import probability
+
+__all__ = ["tp_join"]
+
+
+def tp_join(
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+) -> TPRelation:
+    """Sequenced TP equi-join of ``r`` and ``s``.
+
+    Parameters
+    ----------
+    on:
+        Join attributes, present in both schemas.  ``None`` joins on all
+        shared attribute names (natural join); at least one attribute
+        must be shared.
+
+    The output schema is r's attributes followed by s's non-join
+    attributes; the output fact concatenates the corresponding values.
+
+    >>> from repro import TPRelation
+    >>> r = TPRelation.from_rows("r", ("item", "store"),
+    ...     [("milk", "hb", 1, 5, 0.5)])
+    >>> s = TPRelation.from_rows("s", ("item", "price"),
+    ...     [("milk", 2, 3, 8, 0.8)])
+    >>> result = tp_join(r, s, on=("item",))
+    >>> [str(t) for t in result]
+    ["('milk', 'hb', 2, r1∧s1, [3,5), 0.4)"]
+    """
+    join_attrs = _resolve_join_attributes(r, s, on)
+    r_key_idx = [r.schema.index_of(a) for a in join_attrs]
+    s_key_idx = [s.schema.index_of(a) for a in join_attrs]
+    s_rest_idx = [
+        i for i, name in enumerate(s.schema.attributes) if name not in join_attrs
+    ]
+
+    out_attributes = tuple(r.schema.attributes) + tuple(
+        s.schema.attributes[i] for i in s_rest_idx
+    )
+    out_schema = TPSchema(_disambiguate(out_attributes))
+
+    # Hash partition both inputs on the join key.
+    r_groups: dict = {}
+    for t in r:
+        key = tuple(t.fact[i] for i in r_key_idx)
+        r_groups.setdefault(key, []).append(t)
+    s_groups: dict = {}
+    for t in s:
+        key = tuple(t.fact[i] for i in s_key_idx)
+        s_groups.setdefault(key, []).append(t)
+
+    out: list[TPTuple] = []
+    for key, group_r in r_groups.items():
+        group_s = s_groups.get(key)
+        if group_s is None:
+            continue
+        for rt, st in _overlapping_pairs(group_r, group_s):
+            overlap = rt.interval.intersect(st.interval)
+            assert overlap is not None
+            fact = rt.fact + tuple(st.fact[i] for i in s_rest_idx)
+            out.append(
+                TPTuple(
+                    fact=fact,
+                    lineage=concat_and(rt.lineage, st.lineage),
+                    interval=overlap,
+                )
+            )
+    out.sort(key=lambda t: t.sort_key)
+
+    events = {**r.events, **s.events}
+    if materialize:
+        out = [
+            TPTuple(t.fact, t.lineage, t.interval, probability(t.lineage, events))
+            for t in out
+        ]
+    return TPRelation(
+        f"({r.name} ⋈ {s.name})", out_schema, out, events, validate=False
+    )
+
+
+def _resolve_join_attributes(
+    r: TPRelation, s: TPRelation, on: Optional[Sequence[str]]
+) -> tuple[str, ...]:
+    if on is None:
+        shared = tuple(
+            name for name in r.schema.attributes if name in s.schema.attributes
+        )
+        if not shared:
+            raise SchemaMismatchError(
+                f"natural join needs shared attributes; "
+                f"{r.schema.attributes!r} vs {s.schema.attributes!r} share none"
+            )
+        return shared
+    attrs = tuple(on)
+    for name in attrs:
+        r.schema.index_of(name)
+        s.schema.index_of(name)
+    if not attrs:
+        raise SchemaMismatchError("join attribute list must not be empty")
+    return attrs
+
+
+def _disambiguate(names: tuple[str, ...]) -> tuple[str, ...]:
+    """Suffix repeated attribute names so the output schema stays valid."""
+    seen: dict[str, int] = {}
+    out = []
+    for name in names:
+        count = seen.get(name, 0)
+        out.append(name if count == 0 else f"{name}_{count + 1}")
+        seen[name] = count + 1
+    return tuple(out)
+
+
+def _overlapping_pairs(group_r: list[TPTuple], group_s: list[TPTuple]):
+    """Event sweep over one key partition: all temporally overlapping
+    (rt, st) pairs, each exactly once."""
+    events: list[tuple[int, int, int, TPTuple]] = []
+    for t in group_r:
+        events.append((t.start, 1, 0, t))
+        events.append((t.end, 0, 0, t))
+    for t in group_s:
+        events.append((t.start, 1, 1, t))
+        events.append((t.end, 0, 1, t))
+    # Ends before starts at equal time: half-open intervals do not touch.
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    active: tuple[set, set] = (set(), set())
+    for _, is_start, side, t in events:
+        if is_start:
+            for other in active[1 - side]:
+                yield (t, other) if side == 0 else (other, t)
+            active[side].add(t)
+        else:
+            active[side].discard(t)

@@ -1,0 +1,39 @@
+"""Baseline implementations of TP set operations (the paper's Table II)."""
+
+from .interface import ALL_OPERATIONS, OP_SYMBOLS, SetOpAlgorithm
+from .lawa_algorithm import LawaAlgorithm
+from .norm import NormAlgorithm, normalize
+from .oip import OipAlgorithm, OipPartitioning
+from .registry import (
+    algorithms_supporting,
+    all_algorithms,
+    get_algorithm,
+    paper_algorithms,
+    render_support_matrix,
+    support_matrix,
+)
+from .sweepline import SweeplineAlgorithm
+from .timeline import TimelineIndex, TimelineIndexAlgorithm
+from .tpdb import ALLEN_OVERLAP_RULES, TpdbAlgorithm
+
+__all__ = [
+    "ALLEN_OVERLAP_RULES",
+    "ALL_OPERATIONS",
+    "LawaAlgorithm",
+    "NormAlgorithm",
+    "OP_SYMBOLS",
+    "OipAlgorithm",
+    "OipPartitioning",
+    "SetOpAlgorithm",
+    "SweeplineAlgorithm",
+    "TimelineIndex",
+    "TimelineIndexAlgorithm",
+    "TpdbAlgorithm",
+    "algorithms_supporting",
+    "all_algorithms",
+    "get_algorithm",
+    "normalize",
+    "paper_algorithms",
+    "render_support_matrix",
+    "support_matrix",
+]

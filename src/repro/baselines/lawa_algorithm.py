@@ -1,0 +1,31 @@
+"""LAWA wrapped in the common algorithm interface.
+
+The implementation lives in :mod:`repro.core.setops`; this adapter exists
+so the benchmark harness can iterate uniformly over {LAWA, NORM, TPDB,
+OIP, TI} exactly as the paper's evaluation does.
+"""
+
+from __future__ import annotations
+
+from ..core.relation import TPRelation
+from ..core.setops import tp_except, tp_intersect, tp_union
+from ..core.tuple import TPTuple
+from .interface import SetOpAlgorithm
+
+__all__ = ["LawaAlgorithm"]
+
+
+class LawaAlgorithm(SetOpAlgorithm):
+    """The paper's contribution: sort → LAWA → λ-filter → λ-function."""
+
+    name = "LAWA"
+    supports = frozenset({"union", "intersect", "except"})
+
+    def _compute_union(self, r: TPRelation, s: TPRelation) -> list[TPTuple]:
+        return list(tp_union(r, s, materialize=False).tuples)
+
+    def _compute_intersect(self, r: TPRelation, s: TPRelation) -> list[TPTuple]:
+        return list(tp_intersect(r, s, materialize=False).tuples)
+
+    def _compute_except(self, r: TPRelation, s: TPRelation) -> list[TPTuple]:
+        return list(tp_except(r, s, materialize=False).tuples)

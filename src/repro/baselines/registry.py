@@ -1,0 +1,89 @@
+"""Registry of set-operation algorithms and the Table-II support matrix.
+
+The benchmark harness iterates over :func:`paper_algorithms` exactly as
+the paper's evaluation iterates over {LAWA, NORM, TPDB, OIP, TI}, and
+:func:`support_matrix` regenerates Table II ("Approach Overview").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import UnsupportedOperationError
+from .columnar_algorithm import ColumnarAlgorithm
+from .interface import ALL_OPERATIONS, OP_SYMBOLS, SetOpAlgorithm
+from .lawa_algorithm import LawaAlgorithm
+from .norm import NormAlgorithm
+from .oip import OipAlgorithm
+from .sweepline import SweeplineAlgorithm
+from .timeline import TimelineIndexAlgorithm
+from .tpdb import TpdbAlgorithm
+
+__all__ = [
+    "all_algorithms",
+    "paper_algorithms",
+    "get_algorithm",
+    "algorithms_supporting",
+    "support_matrix",
+    "render_support_matrix",
+]
+
+#: Table II order: LAWA, NORM, TPDB, OIP, TI.
+_PAPER_ORDER = ("LAWA", "NORM", "TPDB", "OIP", "TI")
+
+
+def all_algorithms() -> list[SetOpAlgorithm]:
+    """Fresh instances of every implemented algorithm (incl. extras)."""
+    return [
+        LawaAlgorithm(),
+        NormAlgorithm(),
+        TpdbAlgorithm(),
+        OipAlgorithm(),
+        TimelineIndexAlgorithm(),
+        SweeplineAlgorithm(),
+        ColumnarAlgorithm(),
+    ]
+
+
+def paper_algorithms() -> list[SetOpAlgorithm]:
+    """The five approaches of Table II, in the paper's order."""
+    by_name = {algorithm.name: algorithm for algorithm in all_algorithms()}
+    return [by_name[name] for name in _PAPER_ORDER]
+
+
+def get_algorithm(name: str) -> SetOpAlgorithm:
+    """Look an algorithm up by its paper acronym (case-insensitive)."""
+    for algorithm in all_algorithms():
+        if algorithm.name.lower() == name.lower():
+            return algorithm
+    raise UnsupportedOperationError(f"no set-operation algorithm named {name!r}")
+
+
+def algorithms_supporting(op: str, *, paper_only: bool = True) -> list[SetOpAlgorithm]:
+    """The algorithms able to compute ``op``, per Table II."""
+    pool = paper_algorithms() if paper_only else all_algorithms()
+    return [algorithm for algorithm in pool if op in algorithm.supports]
+
+
+def support_matrix(*, paper_only: bool = True) -> dict[str, dict[str, bool]]:
+    """Table II as a nested mapping: approach → operation → supported."""
+    pool = paper_algorithms() if paper_only else all_algorithms()
+    return {
+        algorithm.name: {op: op in algorithm.supports for op in ALL_OPERATIONS}
+        for algorithm in pool
+    }
+
+
+def render_support_matrix(*, paper_only: bool = True) -> str:
+    """Render Table II the way the paper prints it (✓/✗ per operation)."""
+    matrix = support_matrix(paper_only=paper_only)
+    columns = ["union", "except", "intersect"]  # the paper's column order
+    header = (
+        "Approach  "
+        + "  ".join(f"r{OP_SYMBOLS[op]}Tp s" for op in columns)
+    )
+    lines = [header, "-" * len(header)]
+    for name, row in matrix.items():
+        cells = "      ".join("✓" if row[op] else "✗" for op in columns)
+        lines.append(f"{name:<8}  {cells}")
+    return "\n".join(lines)

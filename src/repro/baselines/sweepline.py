@@ -1,0 +1,90 @@
+"""Classic sweepline join — the Section-II strawman.
+
+Sweeping-based approaches (Arge et al., VLDB'98; Piatov et al., ICDE'16)
+move a vertical sweepline over all start/end points and join the tuples
+intersected by the line.  The paper's related-work section explains their
+limits for TP set operations: they support set intersection, but the
+intervals produced from the tuples the sweepline intersects are not
+sufficient for set difference and union (which need subintervals present
+in one input only, plus finalized lineages) — that gap is exactly what the
+lineage-aware *window* generalizes away.
+
+We include the classic sweep as an extra baseline for set intersection:
+per fact group, a single merged sweep emits one output tuple for each
+maximal segment during which a tuple of each input is active.
+"""
+
+from __future__ import annotations
+
+from ..core.interval import Interval
+from ..core.relation import TPRelation
+from ..core.tuple import TPTuple
+from ..lineage.concat import concat_and
+from .interface import SetOpAlgorithm
+
+__all__ = ["SweeplineAlgorithm"]
+
+
+class SweeplineAlgorithm(SetOpAlgorithm):
+    """Per-fact event sweep; intersection only (not part of Table II)."""
+
+    name = "SWEEP"
+    supports = frozenset({"intersect"})
+    in_paper = False
+
+    def _compute_intersect(self, r: TPRelation, s: TPRelation) -> list[TPTuple]:
+        r_groups: dict = {}
+        for t in r:
+            r_groups.setdefault(t.fact, []).append(t)
+        s_groups: dict = {}
+        for t in s:
+            s_groups.setdefault(t.fact, []).append(t)
+
+        out: list[TPTuple] = []
+        for fact, group_r in r_groups.items():
+            group_s = s_groups.get(fact)
+            if group_s is None:
+                continue
+            out.extend(self._sweep_group(fact, group_r, group_s))
+        out.sort(key=lambda t: t.sort_key)
+        return out
+
+    @staticmethod
+    def _sweep_group(
+        fact, group_r: list[TPTuple], group_s: list[TPTuple]
+    ) -> list[TPTuple]:
+        """Sweep the merged events of one fact group.
+
+        Duplicate-freeness means at most one tuple per side is active at
+        any point, so the sweep state is a pair of optionals.
+        """
+        events: list[tuple[int, int, int, TPTuple]] = []
+        for t in group_r:
+            events.append((t.start, 1, 0, t))
+            events.append((t.end, 0, 0, t))
+        for t in group_s:
+            events.append((t.start, 1, 1, t))
+            events.append((t.end, 0, 1, t))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        active: list[TPTuple | None] = [None, None]
+        overlap_start: int | None = None
+        out: list[TPTuple] = []
+        for time, is_start, side, t in events:
+            if is_start:
+                active[side] = t
+                if active[0] is not None and active[1] is not None:
+                    overlap_start = time
+            else:
+                if active[0] is not None and active[1] is not None:
+                    assert overlap_start is not None
+                    out.append(
+                        TPTuple(
+                            fact=fact,
+                            lineage=concat_and(active[0].lineage, active[1].lineage),
+                            interval=Interval(overlap_start, time),
+                        )
+                    )
+                    overlap_start = None
+                active[side] = None
+        return out

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench all            # everything, results/ directory
+    python -m repro.bench fig7           # all three Fig. 7 sub-figures
+    python -m repro.bench fig9a fig9b    # selected experiments
+    python -m repro.bench table2 table4  # tables only
+    python -m repro.bench ablations      # Section VI-B complexity checks
+
+Each experiment prints a paper-style series table and writes raw CSV
+measurements under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import ablations
+from .figures import fig7, fig8, fig9a, fig9b, fig10, fig11
+from .report import render_series, save_series_csv
+from .runner import SeriesResult
+from .tables import table2, table4
+
+_ALL = ("table2", "table4", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11", "ablations")
+
+
+def _emit(result: SeriesResult, outdir: Path) -> None:
+    text = render_series(result)
+    print(text)
+    print()
+    slug = result.figure.lower().replace(" ", "").replace(".", "")
+    save_series_csv(result, outdir / f"{slug}_{result.op}.csv")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*", default=["all"], help=f"any of: all, {', '.join(_ALL)}")
+    parser.add_argument("--outdir", default="results", help="directory for CSV output")
+    parser.add_argument("--budget", type=float, default=10.0, help="per-run time budget, seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+    args = parser.parse_args(argv)
+
+    requested = args.experiments or ["all"]
+    if "all" in requested:
+        requested = list(_ALL)
+    unknown = [name for name in requested if name not in _ALL]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    verbose = not args.quiet
+    budget = args.budget
+
+    for name in requested:
+        if name == "table2":
+            text = table2()
+            print(text + "\n")
+            (outdir / "table2.txt").write_text(text)
+        elif name == "table4":
+            text = table4(seed=args.seed)
+            print(text + "\n")
+            (outdir / "table4.txt").write_text(text)
+        elif name == "fig7":
+            for op in ("intersect", "except", "union"):
+                _emit(fig7(op, budget_seconds=budget, seed=args.seed, verbose=verbose), outdir)
+        elif name == "fig8":
+            _emit(fig8(budget_seconds=max(budget, 60.0), seed=args.seed, verbose=verbose), outdir)
+        elif name == "fig9a":
+            _emit(fig9a(budget_seconds=max(budget, 30.0), seed=args.seed, verbose=verbose), outdir)
+        elif name == "fig9b":
+            _emit(fig9b(budget_seconds=max(budget, 30.0), seed=args.seed, verbose=verbose), outdir)
+        elif name == "fig10":
+            for op in ("intersect", "except", "union"):
+                _emit(fig10(op, budget_seconds=budget, seed=args.seed, verbose=verbose), outdir)
+        elif name == "fig11":
+            for op in ("intersect", "except", "union"):
+                _emit(fig11(op, budget_seconds=budget, seed=args.seed, verbose=verbose), outdir)
+        elif name == "ablations":
+            scaling = ablations.render_scaling(ablations.lawa_scaling())
+            bound = ablations.window_bound()
+            sorts = ablations.sort_strategies()
+            mat = ablations.materialization_cost()
+            text = "\n".join(
+                [
+                    scaling,
+                    "",
+                    f"window bound (Prop. 1): {bound}",
+                    f"sort strategies (s):   {sorts}",
+                    f"materialization (s):   {mat}",
+                ]
+            )
+            print(text + "\n")
+            (outdir / "ablations.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

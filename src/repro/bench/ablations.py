@@ -1,0 +1,121 @@
+"""Ablations for the complexity claims of Section VI-B.
+
+These experiments validate the design analysis rather than a figure:
+
+* :func:`lawa_scaling` — LAWA's runtime divided by n·log n must stay
+  (roughly) constant across sizes, the O(n log n) claim.
+* :func:`window_bound` — the number of windows produced by LAWA is at
+  most nr + ns − fd (Proposition 1); reports the realized slack.
+* :func:`sort_strategies` — comparison vs counting sort (the paper's
+  note that counting sort makes the pipeline linear when ΩT is dense).
+* :func:`materialization_cost` — share of the runtime spent computing
+  probabilities (the 1OF fast path of Corollary 1).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.lawa import LawaSweep
+from ..core.setops import tp_intersect
+from ..core.sorting import sort_tuples
+from ..datasets.synthetic import generate_pair
+
+__all__ = [
+    "ScalingPoint",
+    "lawa_scaling",
+    "window_bound",
+    "sort_strategies",
+    "materialization_cost",
+    "render_scaling",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingPoint:
+    n: int
+    seconds: float
+    per_nlogn: float  # nanoseconds per n·log2(n) unit
+
+
+def lawa_scaling(
+    sizes: Sequence[int] = (2_000, 4_000, 8_000, 16_000, 32_000),
+    *,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Time LAWA intersection across sizes; report seconds / (n log n)."""
+    points = []
+    for n in sizes:
+        r, s = generate_pair(n, seed=seed)
+        started = time.perf_counter()
+        tp_intersect(r, s)
+        elapsed = time.perf_counter() - started
+        denominator = 2 * n * math.log2(max(2, 2 * n))
+        points.append(ScalingPoint(n, elapsed, elapsed * 1e9 / denominator))
+    return points
+
+
+def window_bound(
+    n: int = 10_000, *, n_facts: int = 1, seed: int = 0
+) -> dict[str, int]:
+    """Count LAWA windows against the Proposition-1 bound nr + ns − fd."""
+    r, s = generate_pair(n, n_facts=n_facts, seed=seed)
+    sweep = LawaSweep(
+        sort_tuples(r.tuples), sort_tuples(s.tuples)
+    )
+    while sweep.advance() is not None:
+        pass
+    nr = r.endpoint_count()
+    ns = s.endpoint_count()
+    fd = len(r.facts() | s.facts())
+    return {
+        "windows": sweep.windows_produced,
+        "bound": nr + ns - fd,
+        "nr": nr,
+        "ns": ns,
+        "fd": fd,
+        "slack": nr + ns - fd - sweep.windows_produced,
+    }
+
+
+def sort_strategies(
+    n: int = 50_000, *, seed: int = 0
+) -> dict[str, float]:
+    """Compare the two sorting strategies of the pipeline's first stage."""
+    r, _ = generate_pair(n, seed=seed)
+    timings = {}
+    for strategy in ("comparison", "counting"):
+        started = time.perf_counter()
+        sort_tuples(r.tuples, strategy=strategy)
+        timings[strategy] = time.perf_counter() - started
+    return timings
+
+
+def materialization_cost(n: int = 20_000, *, seed: int = 0) -> dict[str, float]:
+    """Runtime with and without probability materialization."""
+    r, s = generate_pair(n, seed=seed)
+    started = time.perf_counter()
+    tp_intersect(r, s, materialize=False)
+    without = time.perf_counter() - started
+    started = time.perf_counter()
+    tp_intersect(r, s, materialize=True)
+    with_probs = time.perf_counter() - started
+    return {
+        "without_probabilities": without,
+        "with_probabilities": with_probs,
+        "valuation_share": (with_probs - without) / with_probs if with_probs else 0.0,
+    }
+
+
+def render_scaling(points: list[ScalingPoint]) -> str:
+    """Aligned table of the n·log n ratio (flat = linearithmic)."""
+    lines = ["LAWA scaling — ns per n·log2(n) unit (flat ⇒ O(n log n))"]
+    lines.append(f"{'n':>8s}  {'seconds':>9s}  {'ns/(n log n)':>12s}")
+    for point in points:
+        lines.append(
+            f"{point.n:>8,d}  {point.seconds:>9.4f}  {point.per_nlogn:>12.2f}"
+        )
+    return "\n".join(lines)

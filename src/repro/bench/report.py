@@ -1,0 +1,58 @@
+"""Rendering of experiment results as paper-style text tables and CSV."""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Union
+
+from .runner import SeriesResult
+
+__all__ = ["render_series", "save_series_csv"]
+
+
+def render_series(result: SeriesResult) -> str:
+    """One aligned table: rows = x values, columns = approaches (ms)."""
+    approaches = result.approaches()
+    xs: list[float] = []
+    for m in result.measurements:
+        if m.x not in xs:
+            xs.append(m.x)
+    cells: dict[tuple[float, str], str] = {}
+    for m in result.measurements:
+        if m.skipped or math.isnan(m.seconds):
+            text = "—"
+        else:
+            text = f"{m.seconds * 1000:,.1f}"
+        cells[(m.x, m.approach)] = text
+
+    x_width = max(len(result.x_label), *(len(f"{x:g}") for x in xs))
+    widths = {
+        a: max(len(a), *(len(cells.get((x, a), "")) for x in xs)) for a in approaches
+    }
+    lines = [f"{result.figure}: {result.title}  [runtime, ms]"]
+    header = result.x_label.ljust(x_width) + "  " + "  ".join(
+        a.rjust(widths[a]) for a in approaches
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        row = f"{x:g}".ljust(x_width) + "  " + "  ".join(
+            cells.get((x, a), "").rjust(widths[a]) for a in approaches
+        )
+        lines.append(row)
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def save_series_csv(result: SeriesResult, path: Union[str, Path]) -> None:
+    """Persist raw measurements for downstream plotting."""
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "op", "approach", "x", "seconds", "output_size", "skipped"])
+        for m in result.measurements:
+            writer.writerow(
+                [result.figure, m.op, m.approach, m.x, m.seconds, m.output_size, m.skipped]
+            )

@@ -1,0 +1,130 @@
+"""Timing infrastructure for the paper's experiments.
+
+The paper sweeps dataset sizes and configurations per approach; quadratic
+baselines quickly leave laptop range, so the sweep runner supports a
+*time budget*: once an approach exceeds the budget at some size, larger
+sizes are skipped for that approach (its curve is truncated, exactly like
+the off-scale lines in the paper's plots).
+
+All timings cover the complete operation an approach performs —
+sorting/indexing/partitioning, the join or sweep, lineage construction
+and probability materialization — so approaches are compared on identical
+work, mirroring Section VII-A.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..baselines.interface import SetOpAlgorithm
+from ..core.relation import TPRelation
+
+__all__ = ["Measurement", "SeriesResult", "time_setop", "SweepRunner"]
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One timed run of one approach at one sweep point."""
+
+    approach: str
+    op: str
+    x: float
+    seconds: float
+    output_size: int
+    skipped: bool = False
+
+
+@dataclass
+class SeriesResult:
+    """All measurements of one experiment (one paper sub-figure)."""
+
+    figure: str
+    title: str
+    x_label: str
+    op: str
+    measurements: list[Measurement] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """approach → [(x, seconds)] for the non-skipped points."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        for m in self.measurements:
+            if not m.skipped:
+                out.setdefault(m.approach, []).append((m.x, m.seconds))
+        return out
+
+    def approaches(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for m in self.measurements:
+            seen.setdefault(m.approach)
+        return list(seen)
+
+
+def time_setop(
+    algorithm: SetOpAlgorithm,
+    op: str,
+    r: TPRelation,
+    s: TPRelation,
+) -> tuple[float, int]:
+    """Wall-clock one full computation; returns (seconds, output size)."""
+    started = time.perf_counter()
+    result = algorithm.compute(op, r, s)
+    elapsed = time.perf_counter() - started
+    return elapsed, len(result)
+
+
+class SweepRunner:
+    """Run a sweep of (x, datasets) points across several approaches."""
+
+    def __init__(
+        self,
+        *,
+        budget_seconds: float = 10.0,
+        verbose: bool = False,
+    ) -> None:
+        self.budget_seconds = budget_seconds
+        self.verbose = verbose
+
+    def run(
+        self,
+        result: SeriesResult,
+        points: Sequence[tuple[float, Callable[[], tuple[TPRelation, TPRelation]]]],
+        algorithms: Sequence[SetOpAlgorithm],
+    ) -> SeriesResult:
+        """Fill ``result`` by sweeping ``points`` for each algorithm.
+
+        ``points`` is a sequence of (x value, dataset factory); factories
+        are invoked lazily (and re-invoked per point, not per approach, by
+        caching the materialized pair) so generation cost stays out of the
+        measured region.
+        """
+        over_budget: set[str] = set()
+        for x, factory in points:
+            r, s = factory()
+            for algorithm in algorithms:
+                if result.op not in algorithm.supports:
+                    continue
+                if algorithm.name in over_budget:
+                    result.measurements.append(
+                        Measurement(algorithm.name, result.op, x, float("nan"), 0, True)
+                    )
+                    continue
+                seconds, size = time_setop(algorithm, result.op, r, s)
+                result.measurements.append(
+                    Measurement(algorithm.name, result.op, x, seconds, size)
+                )
+                if self.verbose:
+                    print(
+                        f"  [{result.figure}] {result.op:<9} {algorithm.name:<5} "
+                        f"x={x:<10g} {seconds * 1000:10.1f} ms  ({size} tuples)"
+                    )
+                if seconds > self.budget_seconds:
+                    over_budget.add(algorithm.name)
+                    result.notes.append(
+                        f"{algorithm.name} exceeded the {self.budget_seconds:.0f}s "
+                        f"budget at x={x:g}; larger points skipped "
+                        f"(off-scale, as in the paper's plots)"
+                    )
+        return result

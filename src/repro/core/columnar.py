@@ -1,0 +1,217 @@
+"""Columnar (NumPy) fast path for TP set operations.
+
+The object-based LAWA sweep (:mod:`repro.core.lawa`) is the faithful
+transliteration of the paper's Algorithm 1; this module is the
+"production" execution engine a Python deployment would actually want:
+it computes exactly the same lineage-aware windows, but in bulk with
+NumPy, exploiting a structural property of duplicate-free relations:
+
+    Within one fact group, a relation's tuples are disjoint and sorted,
+    so for *any* candidate window start b the (unique) covering tuple is
+    found by binary search: the tuple with the largest ``Ts ≤ b`` whose
+    ``Te > b``.
+
+The algorithm per fact group:
+
+1. window boundaries = sorted union of all start/end points of both
+   groups (``np.unique``) — consecutive boundaries delimit exactly the
+   candidate windows LAWA would produce (possibly plus gap windows,
+   which carry no valid tuple and are filtered with the λ-filter);
+2. ``np.searchsorted`` maps every window start to the covering tuple
+   index per relation (vectorized), with validity masks;
+3. the per-operation filter is a boolean mask; only surviving windows
+   materialize output tuples (lineage objects are built only for them).
+
+Results are bit-identical to the reference implementation (property
+tests in ``tests/test_columnar.py``); speedups grow with input size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..lineage.concat import concat_and, concat_and_not, concat_or
+from ..prob.valuation import probability
+from .interval import Interval
+from .relation import TPRelation
+from .tuple import TPTuple
+
+__all__ = [
+    "columnar_union",
+    "columnar_intersect",
+    "columnar_except",
+    "columnar_set_operation",
+]
+
+
+class _FactGroup:
+    """Columnar view of one relation's tuples for a single fact."""
+
+    __slots__ = ("starts", "ends", "tuples")
+
+    def __init__(self, tuples: list[TPTuple]) -> None:
+        tuples.sort(key=lambda t: t.interval.start)
+        self.tuples = tuples
+        self.starts = np.fromiter(
+            (t.interval.start for t in tuples), dtype=np.int64, count=len(tuples)
+        )
+        self.ends = np.fromiter(
+            (t.interval.end for t in tuples), dtype=np.int64, count=len(tuples)
+        )
+
+    def cover(self, window_starts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(indices, valid_mask): the covering tuple per window start."""
+        idx = np.searchsorted(self.starts, window_starts, side="right") - 1
+        clamped = np.clip(idx, 0, len(self.tuples) - 1)
+        valid = (idx >= 0) & (self.ends[clamped] > window_starts)
+        return clamped, valid
+
+
+def _group_by_fact(relation: TPRelation) -> dict:
+    groups: dict = {}
+    for t in relation:
+        groups.setdefault(t.fact, []).append(t)
+    return groups
+
+
+def _windows_for_group(
+    group_r: Optional[list[TPTuple]], group_s: Optional[list[TPTuple]]
+):
+    """Yield (ts, te, rt|None, st|None) for one fact's candidate windows."""
+    cols_r = _FactGroup(group_r) if group_r else None
+    cols_s = _FactGroup(group_s) if group_s else None
+
+    point_arrays = []
+    if cols_r is not None:
+        point_arrays.extend((cols_r.starts, cols_r.ends))
+    if cols_s is not None:
+        point_arrays.extend((cols_s.starts, cols_s.ends))
+    boundaries = np.unique(np.concatenate(point_arrays))
+    window_starts = boundaries[:-1]
+    window_ends = boundaries[1:]
+
+    if cols_r is not None:
+        idx_r, valid_r = cols_r.cover(window_starts)
+    else:
+        idx_r = valid_r = None
+    if cols_s is not None:
+        idx_s, valid_s = cols_s.cover(window_starts)
+    else:
+        idx_s = valid_s = None
+
+    return (
+        window_starts,
+        window_ends,
+        cols_r,
+        idx_r,
+        valid_r,
+        cols_s,
+        idx_s,
+        valid_s,
+    )
+
+
+def _run(
+    op: str,
+    r: TPRelation,
+    s: TPRelation,
+    materialize: bool,
+) -> TPRelation:
+    r.schema.check_compatible(s.schema)
+    groups_r = _group_by_fact(r)
+    groups_s = _group_by_fact(s)
+    if op == "intersect":
+        facts = sorted(set(groups_r) & set(groups_s))
+    elif op == "except":
+        facts = sorted(groups_r)
+    else:
+        facts = sorted(set(groups_r) | set(groups_s))
+
+    out: list[TPTuple] = []
+    for fact in facts:
+        group_r = groups_r.get(fact)
+        group_s = groups_s.get(fact)
+        (
+            starts,
+            ends,
+            cols_r,
+            idx_r,
+            valid_r,
+            cols_s,
+            idx_s,
+            valid_s,
+        ) = _windows_for_group(group_r, group_s)
+
+        none_mask = np.zeros(len(starts), dtype=bool)
+        v_r = valid_r if valid_r is not None else none_mask
+        v_s = valid_s if valid_s is not None else none_mask
+
+        # The λ-filter as a boolean mask over all candidate windows.
+        if op == "intersect":
+            keep = v_r & v_s
+        elif op == "except":
+            keep = v_r
+        else:
+            keep = v_r | v_s
+
+        for w in np.nonzero(keep)[0]:
+            rt = cols_r.tuples[idx_r[w]] if v_r[w] else None  # type: ignore[index]
+            st = cols_s.tuples[idx_s[w]] if v_s[w] else None  # type: ignore[index]
+            interval = Interval(int(starts[w]), int(ends[w]))
+            if op == "intersect":
+                lineage = concat_and(rt.lineage, st.lineage)  # type: ignore[union-attr]
+            elif op == "except":
+                lineage = concat_and_not(
+                    rt.lineage, st.lineage if st is not None else None  # type: ignore[union-attr]
+                )
+            else:
+                lineage = concat_or(
+                    rt.lineage if rt is not None else None,
+                    st.lineage if st is not None else None,
+                )
+            out.append(TPTuple(fact, lineage, interval))
+
+    events = {**r.events, **s.events}
+    if materialize:
+        out = [
+            TPTuple(t.fact, t.lineage, t.interval, probability(t.lineage, events))
+            for t in out
+        ]
+    symbol = {"union": "∪", "intersect": "∩", "except": "−"}[op]
+    return TPRelation(
+        f"({r.name} {symbol} {s.name})", r.schema, out, events, validate=False
+    )
+
+
+def columnar_union(
+    r: TPRelation, s: TPRelation, *, materialize: bool = True
+) -> TPRelation:
+    """r ∪Tp s via the vectorized window computation."""
+    return _run("union", r, s, materialize)
+
+
+def columnar_intersect(
+    r: TPRelation, s: TPRelation, *, materialize: bool = True
+) -> TPRelation:
+    """r ∩Tp s via the vectorized window computation."""
+    return _run("intersect", r, s, materialize)
+
+
+def columnar_except(
+    r: TPRelation, s: TPRelation, *, materialize: bool = True
+) -> TPRelation:
+    """r −Tp s via the vectorized window computation."""
+    return _run("except", r, s, materialize)
+
+
+def columnar_set_operation(
+    op: str, r: TPRelation, s: TPRelation, *, materialize: bool = True
+) -> TPRelation:
+    """Dispatch like :func:`repro.core.setops.tp_set_operation`."""
+    if op not in ("union", "intersect", "except"):
+        from .errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError(f"unknown TP set operation {op!r}")
+    return _run(op, r, s, materialize)

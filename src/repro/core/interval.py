@@ -1,0 +1,208 @@
+"""Half-open time intervals ``[start, end)`` over a discrete time domain.
+
+The paper models time as a finite, ordered set of time points ΩT and
+attaches to every tuple an interval ``T`` with domain ΩT × ΩT
+(Section III).  We represent time points as Python integers and intervals
+as immutable value objects with ``start < end``.
+
+Besides the basic containment/overlap predicates used by the set-operation
+algorithms, this module implements the thirteen Allen relations
+(Allen, CACM 1983), which the TPDB baseline needs: its grounding step
+evaluates one Datalog rule per Allen *overlap* relationship (Section VII-A
+of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Optional
+
+from .errors import InvalidIntervalError
+
+__all__ = ["Interval", "AllenRelation", "allen_relation", "OVERLAP_RELATIONS"]
+
+
+class AllenRelation(Enum):
+    """The thirteen qualitative interval relationships of Allen's algebra."""
+
+    BEFORE = "before"
+    MEETS = "meets"
+    OVERLAPS = "overlaps"
+    STARTS = "starts"
+    DURING = "during"
+    FINISHES = "finishes"
+    EQUAL = "equal"
+    # inverses
+    AFTER = "after"
+    MET_BY = "met_by"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTED_BY = "started_by"
+    CONTAINS = "contains"
+    FINISHED_BY = "finished_by"
+
+
+#: The seven Allen relations under which two intervals share at least one
+#: time point.  The TPDB baseline grounds one join rule for each member of
+#: this set (minus EQUAL, which it folds into STARTS/STARTED_BY handling —
+#: we keep all seven for clarity; the paper speaks of "6 reduction rules,
+#: one for each overlap relationship defined by Allen" because EQUAL can be
+#: expressed by a conjunction of the others).
+OVERLAP_RELATIONS = frozenset(
+    {
+        AllenRelation.OVERLAPS,
+        AllenRelation.OVERLAPPED_BY,
+        AllenRelation.STARTS,
+        AllenRelation.STARTED_BY,
+        AllenRelation.DURING,
+        AllenRelation.CONTAINS,
+        AllenRelation.FINISHES,
+        AllenRelation.FINISHED_BY,
+        AllenRelation.EQUAL,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A half-open interval ``[start, end)`` of integer time points.
+
+    Instances are immutable, hashable and totally ordered by
+    ``(start, end)`` — the order used when sorting relations by
+    ``(fact, Ts)`` before a LAWA sweep.
+
+    >>> Interval(2, 10).overlaps(Interval(5, 9))
+    True
+    >>> Interval(2, 10).intersect(Interval(5, 12))
+    Interval(5, 10)
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise InvalidIntervalError(
+                f"interval requires start < end, got [{self.start}, {self.end})"
+            )
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> int:
+        """Number of time points covered by the interval."""
+        return self.end - self.start
+
+    def contains_point(self, t: int) -> bool:
+        """True iff time point ``t`` lies inside ``[start, end)``."""
+        return self.start <= t < self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True iff ``other`` is fully inside this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True iff the two intervals share at least one time point."""
+        return self.start < other.end and other.start < self.end
+
+    def meets(self, other: "Interval") -> bool:
+        """True iff this interval ends exactly where ``other`` starts."""
+        return self.end == other.start
+
+    def adjacent_or_overlapping(self, other: "Interval") -> bool:
+        """True iff the union of the two intervals is itself an interval."""
+        return self.start <= other.end and other.start <= self.end
+
+    # ------------------------------------------------------------------
+    # constructive operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """The common subinterval, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo < hi:
+            return Interval(lo, hi)
+        return None
+
+    def union(self, other: "Interval") -> "Interval":
+        """The merged interval; requires adjacency or overlap."""
+        if not self.adjacent_or_overlapping(other):
+            raise InvalidIntervalError(
+                f"cannot union disjoint intervals {self} and {other}"
+            )
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def minus(self, other: "Interval") -> tuple["Interval", ...]:
+        """The (0, 1 or 2) maximal subintervals of ``self`` outside ``other``."""
+        if not self.overlaps(other):
+            return (self,)
+        pieces = []
+        if self.start < other.start:
+            pieces.append(Interval(self.start, other.start))
+        if other.end < self.end:
+            pieces.append(Interval(other.end, self.end))
+        return tuple(pieces)
+
+    def split_at(self, t: int) -> tuple["Interval", ...]:
+        """Split at time point ``t``; a no-op when ``t`` is not interior."""
+        if not (self.start < t < self.end):
+            return (self,)
+        return (Interval(self.start, t), Interval(t, self.end))
+
+    def shift(self, delta: int) -> "Interval":
+        """Translate the interval by ``delta`` time points."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def points(self) -> Iterator[int]:
+        """Iterate over the time points of the interval (test-scale only)."""
+        return iter(range(self.start, self.end))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.start},{self.end})"
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start}, {self.end})"
+
+
+def allen_relation(a: Interval, b: Interval) -> AllenRelation:
+    """Classify the qualitative relationship of ``a`` with respect to ``b``.
+
+    Exactly one of the thirteen Allen relations holds for any pair of
+    intervals; this is the case split the TPDB baseline's grounding rules
+    are generated from.
+    """
+    if a.end < b.start:
+        return AllenRelation.BEFORE
+    if a.end == b.start:
+        return AllenRelation.MEETS
+    if b.end < a.start:
+        return AllenRelation.AFTER
+    if b.end == a.start:
+        return AllenRelation.MET_BY
+    # From here on the intervals overlap in at least one point.
+    if a.start == b.start and a.end == b.end:
+        return AllenRelation.EQUAL
+    if a.start == b.start:
+        return AllenRelation.STARTS if a.end < b.end else AllenRelation.STARTED_BY
+    if a.end == b.end:
+        return AllenRelation.FINISHES if a.start > b.start else AllenRelation.FINISHED_BY
+    if b.start < a.start and a.end < b.end:
+        return AllenRelation.DURING
+    if a.start < b.start and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.start < b.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+def span(intervals: Iterable[Interval]) -> Optional[Interval]:
+    """The smallest interval covering all inputs, or None for empty input."""
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    for iv in intervals:
+        lo = iv.start if lo is None else min(lo, iv.start)
+        hi = iv.end if hi is None else max(hi, iv.end)
+    if lo is None or hi is None:
+        return None
+    return Interval(lo, hi)

@@ -1,0 +1,300 @@
+"""Duplicate-free temporal-probabilistic relations.
+
+A TP relation is a finite set of TP tuples over a schema (F, λ, T, p).
+Following the paper (Section III) we assume *duplicate-free* input and
+output relations: the intervals of any two tuples with the same fact must
+not overlap.  The constructor validates this invariant (can be switched
+off for benchmark-scale data that is duplicate-free by construction).
+
+A relation also carries its *event map*: the marginal probabilities of the
+base-tuple variables its lineages mention.  Base relations populate the
+map from their own tuples; set operations merge the maps of their inputs,
+so derived relations remain self-contained and can valuate lineage
+probabilities without access to the original database.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..lineage.formula import Lineage, variables
+from ..prob.valuation import Method, probability
+from .errors import DuplicateFactError, UnknownVariableError
+from .interval import Interval
+from .schema import Fact, TPSchema, make_fact
+from .tuple import TPTuple, base_tuple
+
+__all__ = ["TPRelation"]
+
+
+class TPRelation:
+    """An immutable, duplicate-free TP relation.
+
+    Iteration yields tuples in insertion order; :meth:`sorted_tuples`
+    yields them in the ``(F, Ts)`` order the sweep algorithms require.
+    """
+
+    __slots__ = ("name", "schema", "_tuples", "events")
+
+    def __init__(
+        self,
+        name: str,
+        schema: TPSchema,
+        tuples: Iterable[TPTuple],
+        events: Mapping[str, float],
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._tuples: tuple[TPTuple, ...] = tuple(tuples)
+        self.events: dict[str, float] = dict(events)
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        *,
+        id_prefix: Optional[str] = None,
+        validate: bool = True,
+    ) -> "TPRelation":
+        """Build a base relation from ``(*fact_values, ts, te, p)`` rows.
+
+        Tuple identifiers are generated as ``<prefix>1, <prefix>2, …`` in
+        row order (the paper's a1, a2, …); the prefix defaults to the
+        relation name.
+
+        >>> a = TPRelation.from_rows(
+        ...     "a", ("product",),
+        ...     [("milk", 2, 10, 0.3), ("chips", 4, 7, 0.8)])
+        >>> len(a)
+        2
+        """
+        prefix = id_prefix if id_prefix is not None else name
+        schema = TPSchema(tuple(attributes))
+        tuples = []
+        events: dict[str, float] = {}
+        for index, row in enumerate(rows):
+            values = list(row)
+            if len(values) != schema.arity + 3:
+                raise ValueError(
+                    f"row {index} has {len(values)} fields, expected "
+                    f"{schema.arity} fact values followed by ts, te, p"
+                )
+            fact = make_fact(values[: schema.arity])
+            ts, te, p = values[schema.arity :]
+            identifier = f"{prefix}{index + 1}"
+            tuples.append(base_tuple(fact, identifier, Interval(int(ts), int(te)), float(p)))
+            events[identifier] = float(p)
+        return cls(name, schema, tuples, events, validate=validate)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        name: str,
+        schema: TPSchema,
+        tuples: Iterable[TPTuple],
+        events: Mapping[str, float],
+        *,
+        validate: bool = True,
+    ) -> "TPRelation":
+        """Build a (possibly derived) relation from ready-made tuples."""
+        return cls(name, schema, tuples, events, validate=validate)
+
+    # ------------------------------------------------------------------
+    # invariant checking
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for t in self._tuples:
+            if len(t.fact) != self.schema.arity:
+                raise ValueError(
+                    f"tuple {t} has fact arity {len(t.fact)}, "
+                    f"schema expects {self.schema.arity}"
+                )
+            for var in variables(t.lineage):
+                if var not in self.events:
+                    raise UnknownVariableError(
+                        f"tuple {t} references unknown event {var!r}"
+                    )
+            if t.p is not None and not 0.0 < t.p <= 1.0:
+                raise ValueError(f"tuple {t} has probability outside (0, 1]")
+        self._check_duplicate_free()
+
+    def _check_duplicate_free(self) -> None:
+        """Duplicate-freeness: same-fact intervals must not overlap."""
+        ordered = sorted(self._tuples, key=lambda t: t.sort_key)
+        for prev, curr in zip(ordered, ordered[1:]):
+            if prev.fact == curr.fact and curr.start < prev.end:
+                raise DuplicateFactError(
+                    f"relation {self.name!r} is not duplicate-free: fact "
+                    f"{prev.fact!r} valid over overlapping intervals "
+                    f"{prev.interval} and {curr.interval}"
+                )
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TPTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    @property
+    def tuples(self) -> tuple[TPTuple, ...]:
+        return self._tuples
+
+    def sorted_tuples(self) -> list[TPTuple]:
+        """Tuples in ``(F, Ts)`` order — the input order for LAWA."""
+        return sorted(self._tuples, key=lambda t: t.sort_key)
+
+    # ------------------------------------------------------------------
+    # simple algebra needed by examples and datasets
+    # ------------------------------------------------------------------
+    def select(self, **equalities: object) -> "TPRelation":
+        """Selection σ by attribute equality, e.g. ``r.select(product='milk')``.
+
+        The result keeps the full event map; lineage is unchanged
+        (selection never merges or splits intervals).
+        """
+        indexes = {
+            self.schema.index_of(attribute): value
+            for attribute, value in equalities.items()
+        }
+        kept = [
+            t
+            for t in self._tuples
+            if all(t.fact[i] == value for i, value in indexes.items())
+        ]
+        label = ",".join(f"{k}={v!r}" for k, v in equalities.items())
+        return TPRelation(
+            f"σ[{label}]({self.name})",
+            self.schema,
+            kept,
+            self.events,
+            validate=False,
+        )
+
+    def where(self, predicate: Callable[[TPTuple], bool]) -> "TPRelation":
+        """Selection by arbitrary tuple predicate."""
+        kept = [t for t in self._tuples if predicate(t)]
+        return TPRelation(
+            f"σ({self.name})", self.schema, kept, self.events, validate=False
+        )
+
+    def rename(self, name: str) -> "TPRelation":
+        """The same relation under a new catalog name."""
+        return TPRelation(name, self.schema, self._tuples, self.events, validate=False)
+
+    # ------------------------------------------------------------------
+    # probabilities
+    # ------------------------------------------------------------------
+    def materialize_probabilities(
+        self, *, method: Method = Method.AUTO
+    ) -> "TPRelation":
+        """A copy with every tuple's ``p`` computed from its lineage."""
+        materialized = [
+            t if t.p is not None else t.with_probability(
+                probability(t.lineage, self.events, method=method)
+            )
+            for t in self._tuples
+        ]
+        return TPRelation(
+            self.name, self.schema, materialized, self.events, validate=False
+        )
+
+    def probability_of(self, t: TPTuple, *, method: Method = Method.AUTO) -> float:
+        """Marginal probability of one tuple's lineage under this relation."""
+        return probability(t.lineage, self.events, method=method)
+
+    # ------------------------------------------------------------------
+    # statistics (used by Table IV and Proposition 1 tests)
+    # ------------------------------------------------------------------
+    def facts(self) -> set[Fact]:
+        """The distinct facts appearing in the relation."""
+        return {t.fact for t in self._tuples}
+
+    def distinct_points(self) -> set[int]:
+        """All distinct start/end points (the TI index keys)."""
+        points: set[int] = set()
+        for t in self._tuples:
+            points.add(t.start)
+            points.add(t.end)
+        return points
+
+    def endpoint_count(self) -> int:
+        """nr of Proposition 1: total number of start and end points."""
+        return 2 * len(self._tuples)
+
+    def time_span(self) -> Optional[Interval]:
+        """The smallest interval covering every tuple, or None when empty."""
+        if not self._tuples:
+            return None
+        lo = min(t.start for t in self._tuples)
+        hi = max(t.end for t in self._tuples)
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------------
+    # comparison & display
+    # ------------------------------------------------------------------
+    def contents(self) -> frozenset[tuple[Fact, Interval, Lineage]]:
+        """Hashable summary of (fact, interval, lineage) triples."""
+        return frozenset((t.fact, t.interval, t.lineage) for t in self._tuples)
+
+    def equivalent_to(self, other: "TPRelation", *, tol: float = 1e-9) -> bool:
+        """Set equality on (fact, interval, lineage), probabilities within tol.
+
+        Lineage comparison is syntactic, mirroring the paper's footnote 1.
+        """
+        if self.contents() != other.contents():
+            return False
+        mine = {(t.fact, t.interval): t.p for t in self._tuples}
+        theirs = {(t.fact, t.interval): t.p for t in other._tuples}
+        for key, p in mine.items():
+            q = theirs[key]
+            if p is None or q is None:
+                if p is not q:
+                    return False
+            elif abs(p - q) > tol:
+                return False
+        return True
+
+    def to_table(self) -> str:
+        """Render the relation in the paper's tabular layout."""
+        header = list(self.schema.attributes) + ["λ", "T", "p"]
+        rows = [
+            [
+                *(repr(v) for v in t.fact),
+                str(t.lineage),
+                str(t.interval),
+                "?" if t.p is None else f"{t.p:.6g}",
+            ]
+            for t in sorted(self._tuples, key=lambda t: t.sort_key)
+        ]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+            "  ".join("-" * widths[i] for i in range(len(header))),
+        ]
+        for row in rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"TPRelation({self.name!r}, {len(self._tuples)} tuples, "
+            f"{len(self.facts())} facts)"
+        )

@@ -1,0 +1,88 @@
+"""Temporal-probabilistic schemas and facts.
+
+A TP schema is RTp(F, λ, T, p) where F = (A₁ … Aₘ) is an ordered set of
+conventional attributes (paper, Section III).  The values of F in a tuple
+form the tuple's *fact*.  We represent a fact as a plain tuple of
+attribute values, which makes facts hashable (for grouping) and orderable
+(for the ``(F, Ts)`` sort LAWA requires).
+
+Two relations can be combined by a set operation only when their schemas
+are compatible, i.e. they have the same attribute arity; attribute names
+are allowed to differ (positional semantics, as in SQL set operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .errors import SchemaMismatchError
+
+__all__ = ["TPSchema", "Fact", "make_fact"]
+
+#: A fact is the tuple of conventional attribute values of a TP tuple.
+Fact = tuple
+
+_ATOMIC_TYPES = (str, int, float, bool, bytes)
+
+
+@dataclass(frozen=True, slots=True)
+class TPSchema:
+    """The conventional attributes F of a TP relation.
+
+    The temporal attribute ``T``, the lineage attribute ``λ`` and the
+    probability ``p`` are implicit — every TP relation carries them.
+
+    >>> TPSchema(("product",)).arity
+    1
+    """
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaMismatchError("a TP schema needs at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaMismatchError(
+                f"duplicate attribute names in schema {self.attributes!r}"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of conventional attributes."""
+        return len(self.attributes)
+
+    def check_compatible(self, other: "TPSchema") -> None:
+        """Raise unless a set operation between the two schemas is legal."""
+        if self.arity != other.arity:
+            raise SchemaMismatchError(
+                f"schemas {self.attributes!r} and {other.attributes!r} have "
+                f"different arity ({self.arity} vs {other.arity})"
+            )
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute`` within the schema (for selections)."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaMismatchError(
+                f"schema {self.attributes!r} has no attribute {attribute!r}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(self.attributes) + ", λ, T, p)"
+
+
+def make_fact(values: Sequence[object]) -> Fact:
+    """Build a fact from attribute values, validating hashable atoms.
+
+    Restricting fact components to atomic immutable types keeps facts
+    hashable (group-by) and mutually orderable within a relation (sort).
+    """
+    fact = tuple(values)
+    for value in fact:
+        if not isinstance(value, _ATOMIC_TYPES):
+            raise TypeError(
+                f"fact component {value!r} is not an atomic immutable value"
+            )
+    return fact

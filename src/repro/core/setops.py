@@ -1,0 +1,175 @@
+"""TP set operations via LAWA (Algorithms 2–4 of the paper).
+
+All three operations follow the same four-step pipeline (paper, Fig. 5)::
+
+    sort  →  LAWA  →  λ-filter  →  λ-function
+
+The inputs are sorted by ``(F, Ts)``; LAWA produces lineage-aware temporal
+windows; a per-operation filter decides which windows yield output tuples;
+and the Table-I concatenation function assembles the output lineage.
+Filtering and concatenation are O(1) per window, so the total cost is
+O(|r|·log|r| + |s|·log|s|) — linear once sorting is done (Section VI-B).
+
+Termination conditions follow the corrected form (DESIGN.md §3): a side
+may still emit windows while it has either an unread cursor tuple or a
+tuple spanning the current boundary, so
+
+* intersection stops once *either* side is exhausted,
+* difference stops once the *left* side is exhausted,
+* union runs until both sides are exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..lineage.concat import concat_and, concat_and_not, concat_or
+from ..lineage.formula import Lineage
+from ..prob.valuation import probability
+from .errors import UnsupportedOperationError
+from .interval import Interval
+from .lawa import LawaSweep
+from .relation import TPRelation
+from .sorting import sort_tuples
+from .tuple import TPTuple
+from .window import LineageWindow
+
+__all__ = ["tp_union", "tp_intersect", "tp_except", "tp_set_operation", "OPERATIONS"]
+
+
+def tp_intersect(
+    r: TPRelation,
+    s: TPRelation,
+    *,
+    materialize: bool = True,
+    sort_strategy: str = "comparison",
+) -> TPRelation:
+    """r ∩ᵀᵖ s — facts with non-zero probability to be in r *and* in s.
+
+    A window contributes an output tuple iff tuples of both relations are
+    valid over it (λr ≠ null ∧ λs ≠ null); the output lineage is
+    ``and(λr, λs)``.
+    """
+    sweep = _make_sweep(r, s, sort_strategy)
+    out: list[TPTuple] = []
+    while not (sweep.r_exhausted or sweep.s_exhausted):
+        window = sweep.advance()
+        if window is None:
+            break
+        if window.lam_r is not None and window.lam_s is not None:
+            out.append(_emit(window, concat_and(window.lam_r, window.lam_s)))
+    return _finish(r, s, "∩", out, materialize)
+
+
+def tp_union(
+    r: TPRelation,
+    s: TPRelation,
+    *,
+    materialize: bool = True,
+    sort_strategy: str = "comparison",
+) -> TPRelation:
+    """r ∪ᵀᵖ s — facts with non-zero probability to be in r *or* in s.
+
+    Every window yields an output tuple (by construction at least one side
+    is valid); the output lineage is ``or(λr, λs)``.
+    """
+    sweep = _make_sweep(r, s, sort_strategy)
+    out: list[TPTuple] = []
+    while True:
+        window = sweep.advance()
+        if window is None:
+            break
+        if window.lam_r is not None or window.lam_s is not None:
+            out.append(_emit(window, concat_or(window.lam_r, window.lam_s)))
+    return _finish(r, s, "∪", out, materialize)
+
+
+def tp_except(
+    r: TPRelation,
+    s: TPRelation,
+    *,
+    materialize: bool = True,
+    sort_strategy: str = "comparison",
+) -> TPRelation:
+    """r −ᵀᵖ s — facts with non-zero probability to be in r and not in s.
+
+    A window contributes an output tuple iff a tuple of the left relation
+    is valid over it (λr ≠ null); the output lineage is ``andNot(λr, λs)``
+    — plain λr when the right side is absent, λr ∧ ¬λs otherwise (the
+    probabilistic dimension keeps such tuples with reduced probability,
+    unlike purely temporal difference).
+    """
+    sweep = _make_sweep(r, s, sort_strategy)
+    out: list[TPTuple] = []
+    while not sweep.r_exhausted:
+        window = sweep.advance()
+        if window is None:
+            break
+        if window.lam_r is not None:
+            out.append(_emit(window, concat_and_not(window.lam_r, window.lam_s)))
+    return _finish(r, s, "−", out, materialize)
+
+
+# ----------------------------------------------------------------------
+# shared plumbing
+# ----------------------------------------------------------------------
+def _make_sweep(r: TPRelation, s: TPRelation, sort_strategy: str) -> LawaSweep:
+    r.schema.check_compatible(s.schema)
+    r_sorted = sort_tuples(r.tuples, strategy=sort_strategy)
+    s_sorted = sort_tuples(s.tuples, strategy=sort_strategy)
+    return LawaSweep(r_sorted, s_sorted)
+
+
+def _emit(window: LineageWindow, lineage: Lineage) -> TPTuple:
+    return TPTuple(
+        fact=window.fact,
+        lineage=lineage,
+        interval=Interval(window.win_ts, window.win_te),
+        p=None,
+    )
+
+
+def _finish(
+    r: TPRelation,
+    s: TPRelation,
+    symbol: str,
+    out: list[TPTuple],
+    materialize: bool,
+) -> TPRelation:
+    events = {**r.events, **s.events}
+    if materialize:
+        out = [
+            TPTuple(t.fact, t.lineage, t.interval, probability(t.lineage, events))
+            for t in out
+        ]
+    return TPRelation(
+        f"({r.name} {symbol} {s.name})",
+        r.schema,
+        out,
+        events,
+        validate=False,
+    )
+
+
+#: Dispatch table, also consumed by the query executor and the benchmarks.
+OPERATIONS: dict[str, Callable[..., TPRelation]] = {
+    "union": tp_union,
+    "intersect": tp_intersect,
+    "except": tp_except,
+}
+
+
+def tp_set_operation(
+    op: str,
+    r: TPRelation,
+    s: TPRelation,
+    *,
+    materialize: bool = True,
+    sort_strategy: str = "comparison",
+) -> TPRelation:
+    """Compute ``r <op> s`` where op ∈ {'union', 'intersect', 'except'}."""
+    try:
+        func = OPERATIONS[op]
+    except KeyError as exc:
+        raise UnsupportedOperationError(f"unknown TP set operation {op!r}") from exc
+    return func(r, s, materialize=materialize, sort_strategy=sort_strategy)

@@ -1,0 +1,72 @@
+"""Sorting of TP relations by ``(fact, Ts)``.
+
+The sorting step is the O(n log n) part of the LAWA pipeline (paper,
+Section VI-B).  The paper notes that a counting-based sort brings the
+total down to linear time whenever the time domain ΩT fits in memory; we
+implement both strategies behind one entry point so benchmarks can compare
+them (`benchmarks/test_complexity_ablation.py`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .tuple import TPTuple
+
+__all__ = ["sort_comparison", "sort_counting", "sort_tuples", "is_sorted"]
+
+
+def sort_comparison(tuples: Iterable[TPTuple]) -> list[TPTuple]:
+    """Timsort by the ``(fact, Ts)`` key — the default strategy."""
+    return sorted(tuples, key=lambda t: t.sort_key)
+
+
+def sort_counting(tuples: Iterable[TPTuple]) -> list[TPTuple]:
+    """Counting-based sort: group by fact, counting-sort starts per group.
+
+    Linear in ``n + |ΩT|`` per fact group.  Facts themselves are ordered
+    with a comparison sort, but the number of distinct facts is typically
+    far below the number of tuples, so in the regimes the paper discusses
+    (few facts, many intervals) the overall cost is effectively linear.
+    Falls back gracefully for sparse domains: buckets are allocated only
+    over each group's own start range.
+    """
+    groups: dict[tuple, list[TPTuple]] = {}
+    for t in tuples:
+        groups.setdefault(t.fact, []).append(t)
+
+    ordered: list[TPTuple] = []
+    for fact in sorted(groups):
+        group = groups[fact]
+        lo = min(t.start for t in group)
+        hi = max(t.start for t in group)
+        width = hi - lo + 1
+        if width > 4 * len(group) + 16:
+            # Domain too sparse for dense buckets: comparison sort wins.
+            group.sort(key=lambda t: t.start)
+            ordered.extend(group)
+            continue
+        buckets: list[list[TPTuple]] = [[] for _ in range(width)]
+        for t in group:
+            buckets[t.start - lo].append(t)
+        for bucket in buckets:
+            # Duplicate-free relations put at most one same-fact tuple per
+            # start point, but we stay safe for raw tuple streams.
+            ordered.extend(bucket)
+    return ordered
+
+
+def sort_tuples(tuples: Iterable[TPTuple], *, strategy: str = "comparison") -> list[TPTuple]:
+    """Sort by ``(fact, Ts)`` using the requested strategy."""
+    if strategy == "comparison":
+        return sort_comparison(tuples)
+    if strategy == "counting":
+        return sort_counting(tuples)
+    raise ValueError(f"unknown sort strategy {strategy!r}")
+
+
+def is_sorted(tuples: Sequence[TPTuple]) -> bool:
+    """True iff the sequence is already in ``(fact, Ts)`` order."""
+    return all(
+        tuples[i].sort_key <= tuples[i + 1].sort_key for i in range(len(tuples) - 1)
+    )

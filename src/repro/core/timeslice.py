@@ -1,0 +1,51 @@
+"""The probabilistic timeslice operator τᵖₜ.
+
+Section IV of the paper defines the probabilistic snapshot of a TP
+relation r at time point t as::
+
+    τᵖₜ(r) = {(r.F, r.λ, [t, t+1), r.p) | r ∈ r ∧ t ∈ r.T}
+
+Snapshot reducibility (Def. 1) is phrased in terms of this operator: a TP
+operation commutes with taking probabilistic snapshots.  The tests in
+``tests/test_semantics_properties.py`` verify exactly that equation for
+LAWA and every baseline.
+"""
+
+from __future__ import annotations
+
+from .interval import Interval
+from .relation import TPRelation
+from .tuple import TPTuple
+
+__all__ = ["timeslice", "snapshot_lineages"]
+
+
+def timeslice(relation: TPRelation, t: int) -> TPRelation:
+    """The probabilistic snapshot τᵖₜ(r) as a TP relation over ``[t, t+1)``."""
+    window = Interval(t, t + 1)
+    sliced = [
+        TPTuple(fact=u.fact, lineage=u.lineage, interval=window, p=u.p)
+        for u in relation
+        if u.interval.contains_point(t)
+    ]
+    return TPRelation(
+        f"τ[{t}]({relation.name})",
+        relation.schema,
+        sliced,
+        relation.events,
+        validate=False,
+    )
+
+
+def snapshot_lineages(relation: TPRelation, t: int) -> dict:
+    """Map fact → lineage of the (unique) tuple valid at time point t.
+
+    This is the λ^{r,f}_t notation of the paper.  Duplicate-freeness
+    guarantees at most one tuple per fact at any time point; facts without
+    a valid tuple are absent from the map (the paper's ``null``).
+    """
+    out = {}
+    for u in relation:
+        if u.interval.contains_point(t):
+            out[u.fact] = u.lineage
+    return out

@@ -1,0 +1,49 @@
+"""The lineage-aware temporal window (paper, Section VI-A).
+
+A lineage-aware temporal window has schema (F, winTs, winTe, λr, λs): a
+fact, a candidate output interval ``[winTs, winTe)``, and the lineage
+expressions of the tuples of the left (λr) and right (λs) input relations
+that are valid throughout the window and carry fact F.  Duplicate-freeness
+guarantees at most one such tuple per relation, so λr and λs are single
+formulas (or ``None``, the paper's ``null``).
+
+Recording the two sides separately is the key flexibility: a set operation
+inspects (λr, λs) to decide whether the window yields an output tuple (the
+λ-filter step) and, if so, combines them with the operation's Table-I
+concatenation function — both in O(1), at window-creation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lineage.formula import Lineage
+from .interval import Interval
+from .schema import Fact
+
+__all__ = ["LineageWindow"]
+
+
+@dataclass(frozen=True, slots=True)
+class LineageWindow:
+    """One candidate output interval with the lineages valid over it."""
+
+    fact: Fact
+    win_ts: int
+    win_te: int
+    lam_r: Optional[Lineage]
+    lam_s: Optional[Lineage]
+
+    @property
+    def interval(self) -> Interval:
+        """The candidate interval ``[winTs, winTe)``."""
+        return Interval(self.win_ts, self.win_te)
+
+    def __str__(self) -> str:
+        fact_text = ",".join(repr(v) for v in self.fact)
+        lam_r = "null" if self.lam_r is None else str(self.lam_r)
+        lam_s = "null" if self.lam_s is None else str(self.lam_s)
+        return (
+            f"({fact_text}, [{self.win_ts},{self.win_te}), λr={lam_r}, λs={lam_s})"
+        )

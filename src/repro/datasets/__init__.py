@@ -1,0 +1,32 @@
+"""Workload generators, dataset statistics, and the overlap metric."""
+
+from .meteo import MeteoConfig, generate_meteo
+from .overlap import fact_overlap_counts, overlapping_factor
+from .shift import shifted_counterpart
+from .stats import DatasetStats, dataset_stats, render_stats_table
+from .synthetic import (
+    TABLE_III_CONFIGS,
+    SyntheticSpec,
+    generate_calibrated_pair,
+    generate_pair,
+    generate_relation,
+)
+from .webkit import WebkitConfig, generate_webkit
+
+__all__ = [
+    "DatasetStats",
+    "MeteoConfig",
+    "SyntheticSpec",
+    "TABLE_III_CONFIGS",
+    "WebkitConfig",
+    "dataset_stats",
+    "fact_overlap_counts",
+    "generate_calibrated_pair",
+    "generate_meteo",
+    "generate_pair",
+    "generate_relation",
+    "generate_webkit",
+    "overlapping_factor",
+    "render_stats_table",
+    "shifted_counterpart",
+]

@@ -1,0 +1,71 @@
+"""The overlapping-factor metric (paper, Section VII-B).
+
+For a fact f shared by relations r and s, the paper defines the
+overlapping factor as *the number of maximal subintervals during which a
+tuple from r and s overlap, divided by the total number of maximal
+subintervals*.  Values range in [0, 1]; higher values mean more windows
+in which both inputs contribute, i.e. harder instances for set
+operations.
+
+We fragment the joint timeline of each fact at all interval boundaries;
+each fragment where at least one side is valid is a *maximal subinterval*
+(fragments with identical validity are merged first, making them
+maximal), and fragments where both sides are valid are *overlapping*.
+The relation-level factor aggregates fact-level counts.
+"""
+
+from __future__ import annotations
+
+from ..core.relation import TPRelation
+
+__all__ = ["overlapping_factor", "fact_overlap_counts"]
+
+
+def fact_overlap_counts(
+    r: TPRelation, s: TPRelation
+) -> dict[object, tuple[int, int]]:
+    """Per fact: (overlapping maximal subintervals, total maximal subintervals)."""
+    events: dict[object, list[tuple[int, int, int]]] = {}
+    for t in r:
+        events.setdefault(t.fact, []).append((t.start, 0, +1))
+        events.setdefault(t.fact, []).append((t.end, 0, -1))
+    for t in s:
+        events.setdefault(t.fact, []).append((t.start, 1, +1))
+        events.setdefault(t.fact, []).append((t.end, 1, -1))
+
+    counts: dict[object, tuple[int, int]] = {}
+    for fact, fact_events in events.items():
+        fact_events.sort(key=lambda e: e[0])
+        active = [0, 0]
+        previous_state = (False, False)
+        total = 0
+        overlapping = 0
+        index = 0
+        n = len(fact_events)
+        while index < n:
+            time = fact_events[index][0]
+            while index < n and fact_events[index][0] == time:
+                _, side, delta = fact_events[index]
+                active[side] += delta
+                index += 1
+            state = (active[0] > 0, active[1] > 0)
+            if state != previous_state and (state[0] or state[1]):
+                # A new maximal subinterval starts at `time`.
+                total += 1
+                if state[0] and state[1]:
+                    overlapping += 1
+            previous_state = state
+        counts[fact] = (overlapping, total)
+    return counts
+
+
+def overlapping_factor(r: TPRelation, s: TPRelation) -> float:
+    """The realized overlapping factor of the pair (weighted over facts)."""
+    overlapping = 0
+    total = 0
+    for fact_overlapping, fact_total in fact_overlap_counts(r, s).values():
+        overlapping += fact_overlapping
+        total += fact_total
+    if total == 0:
+        return 0.0
+    return overlapping / total

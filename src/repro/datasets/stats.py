@@ -1,0 +1,128 @@
+"""Dataset characteristics — regenerates Table IV of the paper.
+
+For any TP relation, :func:`dataset_stats` computes the properties the
+paper tabulates for Meteo Swiss and WebKit: cardinality, time range,
+min/max/average interval duration, number of facts, number of distinct
+start/end points, and the maximum/average number of tuples valid at a
+single time point.
+
+The per-point tuple counts use an event sweep (max) and the exact
+integral of durations over the covered range (average), so they are exact
+without iterating the (potentially huge) time domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.relation import TPRelation
+
+__all__ = ["DatasetStats", "dataset_stats", "render_stats_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """The Table IV rows for one dataset."""
+
+    name: str
+    cardinality: int
+    time_range: int
+    min_duration: int
+    max_duration: int
+    avg_duration: float
+    n_facts: int
+    distinct_points: int
+    max_tuples_per_point: int
+    avg_tuples_per_point: float
+    #: Largest number of tuples starting or ending at one time point —
+    #: the burstiness that hurts the Timeline Index on WebKit.
+    max_boundary_burst: int
+
+
+def dataset_stats(relation: TPRelation) -> DatasetStats:
+    """Compute the Table IV characteristics of ``relation``."""
+    if not len(relation):
+        return DatasetStats(relation.name, 0, 0, 0, 0, 0.0, 0, 0, 0, 0.0, 0)
+
+    durations = [t.end - t.start for t in relation]
+    lo = min(t.start for t in relation)
+    hi = max(t.end for t in relation)
+
+    events: list[tuple[int, int]] = []
+    boundary_counts: dict[int, int] = {}
+    for t in relation:
+        events.append((t.start, +1))
+        events.append((t.end, -1))
+        boundary_counts[t.start] = boundary_counts.get(t.start, 0) + 1
+        boundary_counts[t.end] = boundary_counts.get(t.end, 0) + 1
+    events.sort()
+
+    active = 0
+    max_active = 0
+    index = 0
+    n = len(events)
+    while index < n:
+        time = events[index][0]
+        while index < n and events[index][0] == time:
+            active += events[index][1]
+            index += 1
+        max_active = max(max_active, active)
+
+    time_range = hi - lo
+    total_duration = sum(durations)
+    return DatasetStats(
+        name=relation.name,
+        cardinality=len(relation),
+        time_range=time_range,
+        min_duration=min(durations),
+        max_duration=max(durations),
+        avg_duration=total_duration / len(durations),
+        n_facts=len(relation.facts()),
+        distinct_points=len(boundary_counts),
+        max_tuples_per_point=max_active,
+        avg_tuples_per_point=total_duration / time_range if time_range else 0.0,
+        max_boundary_burst=max(boundary_counts.values()),
+    )
+
+
+_ROWS = (
+    ("Cardinality", "cardinality", "{:,}"),
+    ("Time Range", "time_range", "{:,}"),
+    ("Min. Duration", "min_duration", "{:,}"),
+    ("Max. Duration", "max_duration", "{:,}"),
+    ("Avg. Duration", "avg_duration", "{:,.1f}"),
+    ("Num. of Facts", "n_facts", "{:,}"),
+    ("Distinct Points", "distinct_points", "{:,}"),
+    ("Max Num. of Tuples (per time point)", "max_tuples_per_point", "{:,}"),
+    ("Avg Num. of Tuples (per time point)", "avg_tuples_per_point", "{:,.1f}"),
+    ("Max Num. of Boundaries (per time point)", "max_boundary_burst", "{:,}"),
+)
+
+
+def render_stats_table(*stats: DatasetStats) -> str:
+    """Render one or more datasets side by side, Table-IV style."""
+    label_width = max(len(label) for label, _, _ in _ROWS)
+    columns = [s.name for s in stats]
+    cells = {
+        s.name: {
+            attr: fmt.format(getattr(s, attr)) for _, attr, fmt in _ROWS
+        }
+        for s in stats
+    }
+    widths = {
+        name: max(len(name), *(len(cells[name][attr]) for _, attr, _ in _ROWS))
+        for name in columns
+    }
+    lines = [
+        " " * label_width
+        + "  "
+        + "  ".join(name.rjust(widths[name]) for name in columns)
+    ]
+    lines.append("-" * len(lines[0]))
+    for label, attr, _ in _ROWS:
+        lines.append(
+            label.ljust(label_width)
+            + "  "
+            + "  ".join(cells[name][attr].rjust(widths[name]) for name in columns)
+        )
+    return "\n".join(lines)

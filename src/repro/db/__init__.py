@@ -1,0 +1,14 @@
+"""Database facade: catalog, TPDatabase, relation serialization."""
+
+from .catalog import Catalog
+from .database import TPDatabase
+from .io import load_csv, load_json, save_csv, save_json
+
+__all__ = [
+    "Catalog",
+    "TPDatabase",
+    "load_csv",
+    "load_json",
+    "save_csv",
+    "save_json",
+]

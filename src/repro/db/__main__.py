@@ -1,0 +1,92 @@
+"""Command-line interface: run TP set queries over relation files.
+
+Usage::
+
+    python -m repro.db --load a=examples/a.csv --load b=b.json \
+        --query "a - b"                      # print the result table
+    python -m repro.db --load a=a.csv --explain "a | a"
+    python -m repro.db --load a=a.csv --query "a | a" --out result.json
+
+Relations load from CSV (``.csv``) or JSON (``.json``) as written by
+:mod:`repro.db.io`; the name before ``=`` is the catalog name used in
+queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .database import TPDatabase
+from .io import load_csv, load_json, save_csv, save_json
+
+
+def _load_spec(db: TPDatabase, spec: str) -> None:
+    name, _, path_text = spec.partition("=")
+    if not path_text:
+        raise SystemExit(f"--load expects name=path, got {spec!r}")
+    path = Path(path_text)
+    if path.suffix == ".json":
+        relation = load_json(path)
+    elif path.suffix == ".csv":
+        relation = load_csv(path, name=name)
+    else:
+        raise SystemExit(f"unsupported relation format {path.suffix!r}")
+    db.register(relation.rename(name))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.db",
+        description="Run temporal-probabilistic set queries over relation files.",
+    )
+    parser.add_argument(
+        "--load",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="register a relation from a .csv or .json file (repeatable)",
+    )
+    parser.add_argument("--query", help="TP set query to evaluate, e.g. 'c - (a | b)'")
+    parser.add_argument("--explain", help="show plan and safety analysis only")
+    parser.add_argument(
+        "--algorithm",
+        default=None,
+        help="physical algorithm: LAWA (default), NORM, TPDB, OIP, TI",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the result to this .csv or .json file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    db = TPDatabase()
+    for spec in args.load:
+        _load_spec(db, spec)
+
+    if args.explain:
+        print(db.explain(args.explain, algorithm=args.algorithm))
+        return 0
+    if not args.query:
+        parser.error("one of --query or --explain is required")
+
+    result = db.query(args.query, algorithm=args.algorithm)
+    if args.out:
+        out = Path(args.out)
+        renamed = result.rename(out.stem)
+        if out.suffix == ".json":
+            save_json(renamed, out)
+        elif out.suffix == ".csv":
+            save_csv(renamed, out)
+        else:
+            raise SystemExit(f"unsupported output format {out.suffix!r}")
+        print(f"wrote {len(result)} tuples to {out}")
+    else:
+        print(result.to_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

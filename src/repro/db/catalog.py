@@ -1,0 +1,60 @@
+"""A catalog of named TP relations.
+
+Thin mapping wrapper with registration-time validation: names must be
+valid query identifiers, and re-registration is explicit (``replace=True``)
+to catch accidental overwrites in long-lived sessions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Mapping
+
+from ..core.errors import UnknownRelationError
+from ..core.relation import TPRelation
+
+__all__ = ["Catalog"]
+
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*\Z")
+
+
+class Catalog(Mapping[str, TPRelation]):
+    """Named relations addressable from textual TP set queries."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, TPRelation] = {}
+
+    def register(self, relation: TPRelation, *, replace: bool = False) -> None:
+        """Add ``relation`` under its own name."""
+        name = relation.name
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"relation name {name!r} is not a valid query identifier"
+            )
+        if name in self._relations and not replace:
+            raise ValueError(
+                f"relation {name!r} already registered (pass replace=True)"
+            )
+        self._relations[name] = relation
+
+    def drop(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        if name not in self._relations:
+            raise UnknownRelationError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    # Mapping protocol -------------------------------------------------
+    def __getitem__(self, name: str) -> TPRelation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"no relation named {name!r}") from exc
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        return f"Catalog({sorted(self._relations)})"

@@ -1,0 +1,128 @@
+"""``TPDatabase`` — the user-facing facade.
+
+Bundles a catalog with the query pipeline so applications can work at the
+level of the paper's examples::
+
+    db = TPDatabase()
+    db.create_relation("a", ("product",), [("milk", 2, 10, 0.3), ...])
+    result = db.query("c - (a | b)")
+    print(db.explain("c - (a | b)"))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..baselines.interface import SetOpAlgorithm
+from ..core.relation import TPRelation
+from ..query.analysis import QueryAnalysis, analyze
+from ..query.ast import QueryNode
+from ..query.executor import execute_plan
+from ..query.optimize import optimize_query
+from ..query.parser import parse_query
+from ..query.planner import plan_query
+from .catalog import Catalog
+
+__all__ = ["TPDatabase"]
+
+
+class TPDatabase:
+    """An in-memory temporal-probabilistic database."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+
+    # ------------------------------------------------------------------
+    # data definition
+    # ------------------------------------------------------------------
+    def create_relation(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        *,
+        id_prefix: Optional[str] = None,
+        replace: bool = False,
+    ) -> TPRelation:
+        """Create and register a base relation from value rows.
+
+        Rows are ``(*fact_values, ts, te, p)``; tuple identifiers are
+        generated as ``<name>1, <name>2, …`` unless ``id_prefix`` is set.
+        """
+        relation = TPRelation.from_rows(
+            name, attributes, rows, id_prefix=id_prefix
+        )
+        self.catalog.register(relation, replace=replace)
+        return relation
+
+    def register(self, relation: TPRelation, *, replace: bool = False) -> None:
+        """Register an existing relation (e.g. loaded from disk)."""
+        self.catalog.register(relation, replace=replace)
+
+    def relation(self, name: str) -> TPRelation:
+        """Look a relation up by name."""
+        return self.catalog[name]
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        text_or_ast: Union[str, QueryNode],
+        *,
+        algorithm: Union[str, SetOpAlgorithm, None] = None,
+        materialize: bool = True,
+        optimize: bool = False,
+        aggressive: bool = False,
+    ) -> TPRelation:
+        """Parse, plan and execute a TP set query.
+
+        ``algorithm`` selects the physical operator for every set
+        operation (default LAWA); Table-II capability violations raise at
+        planning time.  ``optimize=True`` flattens associative ∪/∩ chains
+        into single-pass multiway sweeps (lineage-identical);
+        ``aggressive=True`` additionally fuses difference chains,
+        ``(a − b) − c → a − (b ∪ c)``, which preserves facts, intervals
+        and probabilities but changes the lineage form.
+        """
+        ast = self._to_ast(text_or_ast)
+        if optimize or aggressive:
+            ast = optimize_query(ast, aggressive=aggressive)
+        plan = plan_query(ast, algorithm=algorithm)
+        return execute_plan(plan, self.catalog, materialize=materialize)
+
+    def analyze(self, text_or_ast: Union[str, QueryNode]) -> QueryAnalysis:
+        """Static analysis: Theorem-1 safety, complexity class, shape."""
+        return analyze(self._to_ast(text_or_ast))
+
+    def explain(
+        self,
+        text_or_ast: Union[str, QueryNode],
+        *,
+        algorithm: Union[str, SetOpAlgorithm, None] = None,
+        optimize: bool = False,
+        aggressive: bool = False,
+    ) -> str:
+        """Render the physical plan plus the static analysis report."""
+        ast = self._to_ast(text_or_ast)
+        analysis = analyze(ast)
+        lowered = (
+            optimize_query(ast, aggressive=aggressive)
+            if (optimize or aggressive)
+            else ast
+        )
+        plan = plan_query(lowered, algorithm=algorithm)
+        return (
+            f"query: {lowered}\n"
+            f"{plan.describe()}\n"
+            f"--\n{analysis.describe()}"
+        )
+
+    @staticmethod
+    def _to_ast(text_or_ast: Union[str, QueryNode]) -> QueryNode:
+        if isinstance(text_or_ast, str):
+            return parse_query(text_or_ast)
+        return text_or_ast
+
+    def __repr__(self) -> str:
+        return f"TPDatabase({len(self.catalog)} relations)"

@@ -1,0 +1,165 @@
+"""Serialization of TP relations.
+
+Two formats:
+
+* **CSV** — human-editable, for base relations and spreadsheets.  Columns
+  are the fact attributes followed by ``lineage``, ``ts``, ``te``, ``p``.
+  Lineage round-trips through the textual parser, so derived relations
+  work too; the event map travels in a sidecar ``<file>.events.csv``
+  unless every lineage is atomic (base relation — events are implied).
+* **JSON** — one self-contained document with schema, tuples and events;
+  the format used by the benchmark harness to cache generated datasets.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.interval import Interval
+from ..core.relation import TPRelation
+from ..core.schema import TPSchema, make_fact
+from ..core.tuple import TPTuple
+from ..lineage.formula import Var, variables
+from ..lineage.parser import parse_lineage
+
+__all__ = ["save_json", "load_json", "save_csv", "load_csv"]
+
+_PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def save_json(relation: TPRelation, path: _PathLike) -> None:
+    """Write a relation (schema, tuples, events) to one JSON document."""
+    document = {
+        "name": relation.name,
+        "attributes": list(relation.schema.attributes),
+        "tuples": [
+            {
+                "fact": list(t.fact),
+                "lineage": str(t.lineage),
+                "ts": t.start,
+                "te": t.end,
+                "p": t.p,
+            }
+            for t in relation
+        ],
+        "events": relation.events,
+    }
+    Path(path).write_text(json.dumps(document, ensure_ascii=False, indent=1))
+
+
+def load_json(path: _PathLike) -> TPRelation:
+    """Load a relation previously written by :func:`save_json`."""
+    document = json.loads(Path(path).read_text())
+    schema = TPSchema(tuple(document["attributes"]))
+    tuples = [
+        TPTuple(
+            fact=make_fact(item["fact"]),
+            lineage=parse_lineage(item["lineage"]),
+            interval=Interval(int(item["ts"]), int(item["te"])),
+            p=item["p"],
+        )
+        for item in document["tuples"]
+    ]
+    return TPRelation(
+        document["name"], schema, tuples, document["events"], validate=False
+    )
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def save_csv(relation: TPRelation, path: _PathLike) -> None:
+    """Write a relation to CSV (+ sidecar events file when needed)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(relation.schema.attributes) + ["lineage", "ts", "te", "p"])
+        for t in relation:
+            writer.writerow(
+                [*t.fact, str(t.lineage), t.start, t.end, "" if t.p is None else t.p]
+            )
+    if not _all_atomic(relation):
+        sidecar = path.with_suffix(path.suffix + ".events.csv")
+        with sidecar.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["event", "p"])
+            for name, p in sorted(relation.events.items()):
+                writer.writerow([name, p])
+
+
+def load_csv(path: _PathLike, *, name: str | None = None) -> TPRelation:
+    """Load a relation written by :func:`save_csv`.
+
+    When every lineage is a bare variable (base relation), the event map
+    is reconstructed from the tuples' own probabilities; otherwise the
+    sidecar events file is required.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header[-4:] != ["lineage", "ts", "te", "p"]:
+            raise ValueError(
+                f"{path} does not look like a TP relation CSV "
+                f"(trailing columns {header[-4:]!r})"
+            )
+        attributes = tuple(header[:-4])
+        schema = TPSchema(attributes)
+        tuples = []
+        for row in reader:
+            fact = make_fact(_coerce(v) for v in row[: len(attributes)])
+            lineage_text, ts, te, p_text = row[len(attributes):]
+            tuples.append(
+                TPTuple(
+                    fact=fact,
+                    lineage=parse_lineage(lineage_text),
+                    interval=Interval(int(ts), int(te)),
+                    p=float(p_text) if p_text else None,
+                )
+            )
+
+    sidecar = path.with_suffix(path.suffix + ".events.csv")
+    if sidecar.exists():
+        events = {}
+        with sidecar.open(newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader)
+            for event, p in reader:
+                events[event] = float(p)
+    else:
+        events = {}
+        for t in tuples:
+            if not isinstance(t.lineage, Var) or t.p is None:
+                raise ValueError(
+                    f"{path} has compound lineage but no sidecar "
+                    f"{sidecar.name} with event probabilities"
+                )
+            events[t.lineage.name] = t.p
+
+    return TPRelation(
+        name if name is not None else path.stem, schema, tuples, events,
+        validate=False,
+    )
+
+
+def _all_atomic(relation: TPRelation) -> bool:
+    return all(
+        isinstance(t.lineage, Var) and len(variables(t.lineage)) == 1
+        for t in relation
+    )
+
+
+def _coerce(value: str):
+    """Best-effort typing of CSV fact values: int, then float, then str."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value

@@ -1,0 +1,53 @@
+"""Lineage formulas, Table-I concatenation functions, and 1OF analysis."""
+
+from .concat import CONCAT_BY_NAME, concat_and, concat_and_not, concat_or
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Bottom,
+    Lineage,
+    Not,
+    Or,
+    Top,
+    Var,
+    evaluate,
+    formula_size,
+    land,
+    lnot,
+    lor,
+    map_variables,
+    restrict,
+    variable_occurrences,
+    variables,
+)
+from .onef import check_one_occurrence_form, is_one_occurrence_form
+from .parser import parse_lineage
+
+__all__ = [
+    "And",
+    "Bottom",
+    "CONCAT_BY_NAME",
+    "FALSE",
+    "Lineage",
+    "Not",
+    "Or",
+    "TRUE",
+    "Top",
+    "Var",
+    "check_one_occurrence_form",
+    "concat_and",
+    "concat_and_not",
+    "concat_or",
+    "evaluate",
+    "formula_size",
+    "is_one_occurrence_form",
+    "land",
+    "lnot",
+    "lor",
+    "map_variables",
+    "parse_lineage",
+    "restrict",
+    "variable_occurrences",
+    "variables",
+]

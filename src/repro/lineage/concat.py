@@ -1,0 +1,62 @@
+"""Lineage-concatenation functions of Table I.
+
+Given the lineages λr and λs of the (at most one each, by
+duplicate-freeness) left/right input tuples valid over a lineage-aware
+temporal window, these functions build the output lineage of the
+corresponding result tuple.  ``None`` plays the role of the paper's
+``null`` — "no tuple with this fact is valid here".
+
+========  =====================================================
+op        definition (Table I)
+========  =====================================================
+and       and(λ1, λ2)    = (λ1) ∧ (λ2)
+andNot    andNot(λ1, λ2) = (λ1)            if λ2 = null
+                           (λ1) ∧ ¬(λ2)    otherwise
+or        or(λ1, λ2)     = (λ1)            if λ2 = null
+                           (λ2)            if λ1 = null
+                           (λ1) ∨ (λ2)     otherwise
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .formula import Lineage, land, lnot, lor
+
+__all__ = ["concat_and", "concat_and_not", "concat_or", "CONCAT_BY_NAME"]
+
+
+def concat_and(lam1: Optional[Lineage], lam2: Optional[Lineage]) -> Lineage:
+    """``and(λ1, λ2)`` — both sides must be present (set intersection)."""
+    if lam1 is None or lam2 is None:
+        raise ValueError("and(λ1, λ2) requires both lineages to be non-null")
+    return land(lam1, lam2)
+
+
+def concat_and_not(lam1: Optional[Lineage], lam2: Optional[Lineage]) -> Lineage:
+    """``andNot(λ1, λ2)`` — left side must be present (set difference)."""
+    if lam1 is None:
+        raise ValueError("andNot(λ1, λ2) requires λ1 to be non-null")
+    if lam2 is None:
+        return lam1
+    return land(lam1, lnot(lam2))
+
+
+def concat_or(lam1: Optional[Lineage], lam2: Optional[Lineage]) -> Lineage:
+    """``or(λ1, λ2)`` — at least one side must be present (set union)."""
+    if lam1 is None and lam2 is None:
+        raise ValueError("or(λ1, λ2) requires at least one non-null lineage")
+    if lam2 is None:
+        return lam1  # type: ignore[return-value]
+    if lam1 is None:
+        return lam2
+    return lor(lam1, lam2)
+
+
+#: Lookup used by the generic set-operation driver and the baselines.
+CONCAT_BY_NAME: dict[str, Callable[[Optional[Lineage], Optional[Lineage]], Lineage]] = {
+    "and": concat_and,
+    "andNot": concat_and_not,
+    "or": concat_or,
+}

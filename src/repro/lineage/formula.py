@@ -1,0 +1,310 @@
+"""Boolean lineage formulas.
+
+A lineage expression λ is a Boolean formula over tuple identifiers with the
+connectives ¬, ∧ and ∨ (paper, Section III).  Tuple identifiers denote
+independent Boolean random variables.  Base tuples carry the atomic formula
+consisting of their own identifier; result tuples carry formulas assembled
+by the lineage-concatenation functions of Table I.
+
+Design notes
+------------
+* Formulas are immutable and hashable.  Equality is *syntactic* — the paper
+  (footnote 1) explicitly resorts to syntactic comparison because logical
+  equivalence of Boolean formulas is co-NP-complete.  The smart
+  constructors :func:`land`, :func:`lor` and :func:`lnot` perform only
+  cheap, order-preserving normalizations (flattening of directly nested
+  conjunctions/disjunctions, double-negation elimination, constant
+  folding), so two formulas built the same way compare equal while the
+  printed form still matches the paper's examples (e.g. ``c2∧¬(a1∨b1)``).
+* ``Top`` and ``Bottom`` (true/false) never appear in lineage attached to
+  tuples; they exist for the restriction step of Shannon expansion and BDD
+  construction in :mod:`repro.prob`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "Lineage",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Top",
+    "Bottom",
+    "TRUE",
+    "FALSE",
+    "land",
+    "lor",
+    "lnot",
+    "variables",
+    "variable_occurrences",
+    "evaluate",
+    "restrict",
+    "formula_size",
+]
+
+
+class Lineage:
+    """Abstract base class of all lineage formula nodes.
+
+    Supports the Python operators ``&``, ``|`` and ``~`` as shorthands for
+    the smart constructors, so tests and examples can write
+    ``c1 & ~(a1 | b1)``.
+    """
+
+    __slots__ = ()
+
+    def __and__(self, other: "Lineage") -> "Lineage":
+        return land(self, other)
+
+    def __or__(self, other: "Lineage") -> "Lineage":
+        return lor(self, other)
+
+    def __invert__(self) -> "Lineage":
+        return lnot(self)
+
+    def __str__(self) -> str:
+        return _format(self, parent_prec=0)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Lineage):
+    """An atomic lineage variable — the identifier of a base tuple."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Lineage):
+    """Negation ¬λ."""
+
+    child: Lineage
+
+    def __str__(self) -> str:
+        return _format(self, parent_prec=0)
+
+
+@dataclass(frozen=True, slots=True)
+class And(Lineage):
+    """Conjunction λ₁ ∧ … ∧ λₙ (n ≥ 2), flattened, order-preserving."""
+
+    children: tuple[Lineage, ...]
+
+    def __str__(self) -> str:
+        return _format(self, parent_prec=0)
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Lineage):
+    """Disjunction λ₁ ∨ … ∨ λₙ (n ≥ 2), flattened, order-preserving."""
+
+    children: tuple[Lineage, ...]
+
+    def __str__(self) -> str:
+        return _format(self, parent_prec=0)
+
+
+@dataclass(frozen=True, slots=True)
+class Top(Lineage):
+    """The constant *true* (internal use by probability valuations)."""
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True, slots=True)
+class Bottom(Lineage):
+    """The constant *false* (internal use by probability valuations)."""
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+TRUE = Top()
+FALSE = Bottom()
+
+
+# ----------------------------------------------------------------------
+# smart constructors
+# ----------------------------------------------------------------------
+def land(*parts: Lineage) -> Lineage:
+    """Conjunction with flattening and constant folding.
+
+    ``land(a, land(b, c))`` and ``land(land(a, b), c)`` build the identical
+    node ``And((a, b, c))`` so that syntactic equality coincides for the
+    formulas the set-operation algorithms produce.
+    """
+    flat: list[Lineage] = []
+    for part in parts:
+        if isinstance(part, Top):
+            continue
+        if isinstance(part, Bottom):
+            return FALSE
+        if isinstance(part, And):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def lor(*parts: Lineage) -> Lineage:
+    """Disjunction with flattening and constant folding (dual of land)."""
+    flat: list[Lineage] = []
+    for part in parts:
+        if isinstance(part, Bottom):
+            continue
+        if isinstance(part, Top):
+            return TRUE
+        if isinstance(part, Or):
+            flat.extend(part.children)
+        else:
+            flat.append(part)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def lnot(part: Lineage) -> Lineage:
+    """Negation with double-negation elimination and constant folding."""
+    if isinstance(part, Not):
+        return part.child
+    if isinstance(part, Top):
+        return FALSE
+    if isinstance(part, Bottom):
+        return TRUE
+    return Not(part)
+
+
+# ----------------------------------------------------------------------
+# structural queries
+# ----------------------------------------------------------------------
+def variables(formula: Lineage) -> frozenset[str]:
+    """The set of variable names occurring in ``formula``."""
+    return frozenset(name for name in _iter_var_names(formula))
+
+
+def variable_occurrences(formula: Lineage) -> dict[str, int]:
+    """Count how many times each variable occurs (for 1OF detection)."""
+    counts: dict[str, int] = {}
+    for name in _iter_var_names(formula):
+        counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _iter_var_names(formula: Lineage) -> Iterator[str]:
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            yield node.name
+        elif isinstance(node, Not):
+            stack.append(node.child)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+        # Top/Bottom contribute nothing
+
+
+def formula_size(formula: Lineage) -> int:
+    """Number of AST nodes — the |λ| in the linear-time 1OF bound."""
+    count = 0
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if isinstance(node, Not):
+            stack.append(node.child)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+    return count
+
+
+def evaluate(formula: Lineage, assignment: Mapping[str, bool]) -> bool:
+    """Evaluate ``formula`` under a total truth assignment.
+
+    Used by the possible-worlds oracle and the Monte-Carlo valuation.
+    Raises ``KeyError`` when a variable has no assigned truth value.
+    """
+    if isinstance(formula, Var):
+        return assignment[formula.name]
+    if isinstance(formula, Not):
+        return not evaluate(formula.child, assignment)
+    if isinstance(formula, And):
+        return all(evaluate(child, assignment) for child in formula.children)
+    if isinstance(formula, Or):
+        return any(evaluate(child, assignment) for child in formula.children)
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    raise TypeError(f"not a lineage formula: {formula!r}")
+
+
+def restrict(formula: Lineage, name: str, value: bool) -> Lineage:
+    """Substitute a truth value for variable ``name`` and simplify.
+
+    This is the cofactor operation of Shannon expansion:
+    ``restrict(f, x, True)`` is f|x and ``restrict(f, x, False)`` is f|¬x.
+    """
+    if isinstance(formula, Var):
+        if formula.name == name:
+            return TRUE if value else FALSE
+        return formula
+    if isinstance(formula, Not):
+        return lnot(restrict(formula.child, name, value))
+    if isinstance(formula, And):
+        return land(*(restrict(child, name, value) for child in formula.children))
+    if isinstance(formula, Or):
+        return lor(*(restrict(child, name, value) for child in formula.children))
+    return formula
+
+
+def map_variables(formula: Lineage, rename: Callable[[str], str]) -> Lineage:
+    """Rewrite every variable name through ``rename`` (used by dataset tools)."""
+    if isinstance(formula, Var):
+        return Var(rename(formula.name))
+    if isinstance(formula, Not):
+        return lnot(map_variables(formula.child, rename))
+    if isinstance(formula, And):
+        return land(*(map_variables(child, rename) for child in formula.children))
+    if isinstance(formula, Or):
+        return lor(*(map_variables(child, rename) for child in formula.children))
+    return formula
+
+
+# ----------------------------------------------------------------------
+# pretty printing — mirrors the paper's notation: c1∧¬(a1∨b1)
+# ----------------------------------------------------------------------
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_NOT = 3
+
+
+def _format(node: Lineage, parent_prec: int) -> str:
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Top):
+        return "⊤"
+    if isinstance(node, Bottom):
+        return "⊥"
+    if isinstance(node, Not):
+        inner = _format(node.child, _PREC_NOT)
+        return f"¬{inner}"
+    if isinstance(node, And):
+        body = "∧".join(_format(child, _PREC_AND) for child in node.children)
+        return f"({body})" if parent_prec > _PREC_AND else body
+    if isinstance(node, Or):
+        body = "∨".join(_format(child, _PREC_OR) for child in node.children)
+        return f"({body})" if parent_prec > _PREC_OR else body
+    raise TypeError(f"not a lineage formula: {node!r}")

@@ -1,0 +1,62 @@
+"""One-occurrence-form (1OF) detection.
+
+A Boolean formula is in 1OF iff no variable occurs more than once
+(paper, Section V-B).  Theorem 1 shows that any *non-repeating* TP set
+query over duplicate-free relations yields lineages in 1OF, and
+Corollary 1 exploits that marginal probabilities of 1OF formulas over
+independent variables are computable in time linear in the formula size.
+
+This module provides the predicate used both by the probability-valuation
+dispatcher (to select the fast path) and by the tests that pin Theorem 1.
+"""
+
+from __future__ import annotations
+
+from .formula import And, Bottom, Lineage, Not, Or, Top, Var
+
+__all__ = ["is_one_occurrence_form", "check_one_occurrence_form"]
+
+
+def is_one_occurrence_form(formula: Lineage) -> bool:
+    """True iff no variable occurs more than once in ``formula``.
+
+    Runs in a single pass and aborts at the first repetition, so it is
+    linear in the formula size and cheap enough to be called per result
+    tuple by the valuation dispatcher.
+    """
+    seen: set[str] = set()
+    stack: list[Lineage] = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            if node.name in seen:
+                return False
+            seen.add(node.name)
+        elif isinstance(node, Not):
+            stack.append(node.child)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+        elif isinstance(node, (Top, Bottom)):
+            continue
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"not a lineage formula: {node!r}")
+    return True
+
+
+def check_one_occurrence_form(formula: Lineage) -> list[str]:
+    """Return the variables that occur more than once (empty when in 1OF).
+
+    Useful in diagnostics: the query analyzer reports exactly which
+    repeated subgoals break the PTIME guarantee of Corollary 1.
+    """
+    counts: dict[str, int] = {}
+    stack: list[Lineage] = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Var):
+            counts[node.name] = counts.get(node.name, 0) + 1
+        elif isinstance(node, Not):
+            stack.append(node.child)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.children)
+    return sorted(name for name, n in counts.items() if n > 1)

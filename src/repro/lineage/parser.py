@@ -1,0 +1,121 @@
+"""A small parser for lineage formulas written in the paper's notation.
+
+Accepts both the paper's Unicode connectives and ASCII equivalents::
+
+    c1 ∧ ¬(a1 ∨ b1)
+    c1 & !(a1 | b1)
+    c1 and not (a1 or b1)
+
+This exists for tests, documentation examples and the CSV loader (which
+serializes lineage as text); the engine itself never parses lineage.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from ..core.errors import QueryParseError
+from .formula import FALSE, TRUE, Lineage, Var, land, lnot, lor
+
+__all__ = ["parse_lineage"]
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<not>¬|!|\bnot\b|\bNOT\b)
+  | (?P<and>∧|&&?|\band\b|\bAND\b)
+  | (?P<or>∨|\|\|?|\bor\b|\bOR\b)
+  | (?P<true>⊤|\btrue\b|\bTRUE\b)
+  | (?P<false>⊥|\bfalse\b|\bFALSE\b)
+  | (?P<var>[A-Za-z_][A-Za-z0-9_.:-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryParseError(f"bad lineage syntax at {text[pos:pos + 10]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            yield _Token(kind, match.group())
+    yield _Token("eof", "")
+
+
+class _Parser:
+    """Recursive-descent parser: or_expr > and_expr > unary > atom."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> Lineage:
+        formula = self._or_expr()
+        if self._peek().kind != "eof":
+            raise QueryParseError(f"trailing input: {self._peek().text!r}")
+        return formula
+
+    def _or_expr(self) -> Lineage:
+        parts = [self._and_expr()]
+        while self._peek().kind == "or":
+            self._advance()
+            parts.append(self._and_expr())
+        return lor(*parts) if len(parts) > 1 else parts[0]
+
+    def _and_expr(self) -> Lineage:
+        parts = [self._unary()]
+        while self._peek().kind == "and":
+            self._advance()
+            parts.append(self._unary())
+        return land(*parts) if len(parts) > 1 else parts[0]
+
+    def _unary(self) -> Lineage:
+        if self._peek().kind == "not":
+            self._advance()
+            return lnot(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Lineage:
+        token = self._advance()
+        if token.kind == "lpar":
+            inner = self._or_expr()
+            if self._advance().kind != "rpar":
+                raise QueryParseError("missing closing parenthesis in lineage")
+            return inner
+        if token.kind == "var":
+            return Var(token.text)
+        if token.kind == "true":
+            return TRUE
+        if token.kind == "false":
+            return FALSE
+        raise QueryParseError(f"unexpected token {token.text!r} in lineage")
+
+
+def parse_lineage(text: str) -> Lineage:
+    """Parse a lineage formula from its textual form.
+
+    >>> str(parse_lineage("c1 & !(a1 | b1)"))
+    'c1∧¬(a1∨b1)'
+    """
+    return _Parser(text).parse()

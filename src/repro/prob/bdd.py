@@ -1,0 +1,244 @@
+"""Exact probability valuation via reduced ordered BDDs.
+
+Builds a reduced ordered binary decision diagram (OBDD) for a lineage
+formula and evaluates the marginal probability bottom-up in one pass over
+the diagram nodes.  This follows the OBDD route of Olteanu & Huang (SUM
+2008), which the paper cites as one of the exact confidence-computation
+algorithms for lineage formulas (Section III).
+
+The implementation uses the standard *apply* algorithm with a unique table
+(hash-consing) and a computed table (memoized apply), so diagrams stay
+canonical: two logically equivalent formulas under the same variable order
+produce the identical root node.  That also gives us a decision procedure
+for logical equivalence of small lineages, used by the semantics tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from ..core.errors import UnknownVariableError
+from ..lineage.formula import And, Bottom, Lineage, Not, Or, Top, Var
+
+__all__ = ["Bdd", "BddManager", "probability_bdd", "equivalent"]
+
+# Terminal nodes are the Python booleans; internal nodes are _Node ids.
+_Terminal = bool
+
+
+@dataclass(frozen=True, slots=True)
+class _Node:
+    """An internal BDD node: branch on ``var`` (low = false, high = true)."""
+
+    var: str
+    low: "BddRef"
+    high: "BddRef"
+
+
+BddRef = Union[_Terminal, _Node]
+
+
+class BddManager:
+    """Shared unique/computed tables for a family of BDDs.
+
+    The variable order is fixed at construction (or extended lazily in
+    first-seen order).  Reusing one manager across formulas keeps apply
+    results shared and enables O(1) equivalence checks by root identity.
+    """
+
+    def __init__(self, order: Optional[list[str]] = None) -> None:
+        self._rank: dict[str, int] = {}
+        if order is not None:
+            for name in order:
+                self._rank.setdefault(name, len(self._rank))
+        self._unique: dict[tuple[str, int, int], _Node] = {}
+        self._apply_memo: dict[tuple[str, int, int], BddRef] = {}
+
+    # ------------------------------------------------------------------
+    def _rank_of(self, name: str) -> int:
+        rank = self._rank.get(name)
+        if rank is None:
+            rank = len(self._rank)
+            self._rank[name] = rank
+        return rank
+
+    def _ref_id(self, ref: BddRef) -> int:
+        if ref is True:
+            return -1
+        if ref is False:
+            return -2
+        return id(ref)
+
+    def make(self, var: str, low: BddRef, high: BddRef) -> BddRef:
+        """Hash-consed node constructor with redundant-test elimination."""
+        if self._ref_id(low) == self._ref_id(high):
+            return low
+        key = (var, self._ref_id(low), self._ref_id(high))
+        node = self._unique.get(key)
+        if node is None:
+            node = _Node(var, low, high)
+            self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    def build(self, formula: Lineage) -> BddRef:
+        """Compile a lineage formula to a (shared) reduced ordered BDD."""
+        if isinstance(formula, Top):
+            return True
+        if isinstance(formula, Bottom):
+            return False
+        if isinstance(formula, Var):
+            self._rank_of(formula.name)
+            return self.make(formula.name, False, True)
+        if isinstance(formula, Not):
+            return self.negate(self.build(formula.child))
+        if isinstance(formula, And):
+            result: BddRef = True
+            for child in formula.children:
+                result = self.apply_and(result, self.build(child))
+            return result
+        if isinstance(formula, Or):
+            result = False
+            for child in formula.children:
+                result = self.apply_or(result, self.build(child))
+            return result
+        raise TypeError(f"not a lineage formula: {formula!r}")
+
+    def negate(self, ref: BddRef) -> BddRef:
+        if isinstance(ref, bool):
+            return not ref
+        key = ("!", self._ref_id(ref), 0)
+        cached = self._apply_memo.get(key)
+        if cached is not None:
+            return cached
+        result = self.make(ref.var, self.negate(ref.low), self.negate(ref.high))
+        self._apply_memo[key] = result
+        return result
+
+    def apply_and(self, a: BddRef, b: BddRef) -> BddRef:
+        if a is False or b is False:
+            return False
+        if a is True:
+            return b
+        if b is True:
+            return a
+        if a is b:
+            return a
+        return self._apply("&", a, b)
+
+    def apply_or(self, a: BddRef, b: BddRef) -> BddRef:
+        if a is True or b is True:
+            return True
+        if a is False:
+            return b
+        if b is False:
+            return a
+        if a is b:
+            return a
+        return self._apply("|", a, b)
+
+    def _apply(self, op: str, a: _Node, b: _Node) -> BddRef:
+        # Canonicalize the operand order — ∧ and ∨ are commutative.
+        ida, idb = self._ref_id(a), self._ref_id(b)
+        if idb < ida:
+            a, b = b, a
+            ida, idb = idb, ida
+        key = (op, ida, idb)
+        cached = self._apply_memo.get(key)
+        if cached is not None:
+            return cached
+
+        rank_a = self._rank_of(a.var)
+        rank_b = self._rank_of(b.var)
+        if rank_a == rank_b:
+            var = a.var
+            low_a, high_a = a.low, a.high
+            low_b, high_b = b.low, b.high
+        elif rank_a < rank_b:
+            var = a.var
+            low_a, high_a = a.low, a.high
+            low_b = high_b = b
+        else:
+            var = b.var
+            low_a = high_a = a
+            low_b, high_b = b.low, b.high
+
+        combine = self.apply_and if op == "&" else self.apply_or
+        result = self.make(var, combine(low_a, low_b), combine(high_a, high_b))
+        self._apply_memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def probability(self, ref: BddRef, probabilities: Mapping[str, float]) -> float:
+        """Marginal probability by one bottom-up pass over the diagram."""
+        memo: dict[int, float] = {}
+
+        def walk(node: BddRef) -> float:
+            if node is True:
+                return 1.0
+            if node is False:
+                return 0.0
+            assert isinstance(node, _Node)
+            cached = memo.get(id(node))
+            if cached is not None:
+                return cached
+            try:
+                p = probabilities[node.var]
+            except KeyError as exc:
+                raise UnknownVariableError(
+                    f"no probability registered for lineage variable {node.var!r}"
+                ) from exc
+            value = (1.0 - p) * walk(node.low) + p * walk(node.high)
+            memo[id(node)] = value
+            return value
+
+        return walk(ref)
+
+    def node_count(self, ref: BddRef) -> int:
+        """Number of internal nodes reachable from ``ref`` (diagram size)."""
+        seen: set[int] = set()
+        stack: list[BddRef] = [ref]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, bool) or id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append(node.low)
+            stack.append(node.high)
+        return len(seen)
+
+
+class Bdd:
+    """Convenience wrapper bundling a manager with a single root."""
+
+    def __init__(self, formula: Lineage, order: Optional[list[str]] = None) -> None:
+        self.manager = BddManager(order)
+        self.root = self.manager.build(formula)
+
+    def probability(self, probabilities: Mapping[str, float]) -> float:
+        return self.manager.probability(self.root, probabilities)
+
+    def size(self) -> int:
+        return self.manager.node_count(self.root)
+
+
+def probability_bdd(
+    formula: Lineage,
+    probabilities: Mapping[str, float],
+    *,
+    order: Optional[list[str]] = None,
+) -> float:
+    """Exact marginal probability via a freshly built OBDD."""
+    return Bdd(formula, order).probability(probabilities)
+
+
+def equivalent(a: Lineage, b: Lineage, *, order: Optional[list[str]] = None) -> bool:
+    """Decide logical equivalence of two lineage formulas via shared BDDs.
+
+    Exponential in the worst case (equivalence is co-NP-complete); meant
+    for tests and small formulas, exactly the role footnote 1 of the paper
+    sidesteps in production by comparing lineages syntactically.
+    """
+    manager = BddManager(order)
+    return manager._ref_id(manager.build(a)) == manager._ref_id(manager.build(b))

@@ -1,0 +1,122 @@
+"""Probability-valuation dispatcher.
+
+Chooses the cheapest correct method for a lineage formula:
+
+1. **1OF fast path** — formulas in one-occurrence form are evaluated by
+   the linear-time factorized computation.  Theorem 1 of the paper
+   guarantees this path for every non-repeating TP set query, which is
+   what makes those queries PTIME (Corollary 1).
+2. **Shannon expansion** — exact for arbitrary formulas; exponential only
+   in the number of *entangled* repeated variables.
+3. **BDD** — alternative exact method, selectable explicitly.
+4. **Monte Carlo** — approximate fallback, selectable explicitly or
+   automatically once the repeated-variable count exceeds a threshold.
+
+The dispatcher is deliberately small and stateless; relations call it once
+per result tuple when materializing probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import Mapping, Optional
+
+from ..lineage.formula import Lineage, variable_occurrences
+from ..lineage.onef import is_one_occurrence_form
+from .bdd import probability_bdd
+from .exact_1of import probability_1of
+from .montecarlo import probability_montecarlo
+from .shannon import probability_shannon
+
+__all__ = ["Method", "probability", "ProbabilityOptions"]
+
+
+class Method(Enum):
+    """Valuation strategies accepted by :func:`probability`."""
+
+    AUTO = "auto"
+    ONE_OCCURRENCE = "1of"
+    SHANNON = "shannon"
+    BDD = "bdd"
+    MONTE_CARLO = "montecarlo"
+
+
+class ProbabilityOptions:
+    """Tuning knobs for :func:`probability`.
+
+    Attributes
+    ----------
+    exact_repeated_limit:
+        With ``Method.AUTO``, formulas whose repeated-variable count
+        exceeds this limit are estimated by Monte Carlo instead of exact
+        Shannon expansion.
+    samples / confidence / rng:
+        Passed through to the Monte-Carlo estimator.
+    """
+
+    __slots__ = ("exact_repeated_limit", "samples", "confidence", "rng")
+
+    def __init__(
+        self,
+        *,
+        exact_repeated_limit: int = 24,
+        samples: int = 20_000,
+        confidence: float = 0.95,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.exact_repeated_limit = exact_repeated_limit
+        self.samples = samples
+        self.confidence = confidence
+        self.rng = rng
+
+
+_DEFAULT_OPTIONS = ProbabilityOptions()
+
+
+def probability(
+    formula: Lineage,
+    probabilities: Mapping[str, float],
+    *,
+    method: Method = Method.AUTO,
+    options: Optional[ProbabilityOptions] = None,
+) -> float:
+    """Marginal probability of ``formula`` over independent variables.
+
+    >>> from repro.lineage import Var
+    >>> c1, a1 = Var("c1"), Var("a1")
+    >>> probability(c1 & ~a1, {"c1": 0.6, "a1": 0.3})
+    0.42
+    """
+    opts = options if options is not None else _DEFAULT_OPTIONS
+
+    if method is Method.ONE_OCCURRENCE:
+        return probability_1of(formula, probabilities)
+    if method is Method.SHANNON:
+        return probability_shannon(formula, probabilities)
+    if method is Method.BDD:
+        return probability_bdd(formula, probabilities)
+    if method is Method.MONTE_CARLO:
+        return probability_montecarlo(
+            formula,
+            probabilities,
+            samples=opts.samples,
+            confidence=opts.confidence,
+            rng=opts.rng,
+        ).estimate
+
+    # AUTO: prefer the 1OF fast path, then exact Shannon, then sampling.
+    if is_one_occurrence_form(formula):
+        return probability_1of(formula, probabilities, validate=False)
+    repeated = sum(
+        1 for count in variable_occurrences(formula).values() if count > 1
+    )
+    if repeated <= opts.exact_repeated_limit:
+        return probability_shannon(formula, probabilities)
+    return probability_montecarlo(
+        formula,
+        probabilities,
+        samples=opts.samples,
+        confidence=opts.confidence,
+        rng=opts.rng,
+    ).estimate

@@ -1,0 +1,47 @@
+"""TP set queries: Def. 4 grammar, parsing, analysis, planning, execution."""
+
+from .analysis import QueryAnalysis, analyze, is_non_repeating
+from .ast import (
+    OP_TOKENS,
+    QueryNode,
+    RelationRef,
+    SelectionNode,
+    SetOpNode,
+    iter_nodes,
+    relation_references,
+)
+from .executor import execute_plan
+from .optimize import MultiOpNode, OptimizedNode, optimize_query
+from .parser import parse_query
+from .planner import (
+    MultiSetOpPlan,
+    PhysicalPlan,
+    ScanPlan,
+    SelectPlan,
+    SetOpPlan,
+    plan_query,
+)
+
+__all__ = [
+    "MultiOpNode",
+    "MultiSetOpPlan",
+    "OP_TOKENS",
+    "OptimizedNode",
+    "PhysicalPlan",
+    "QueryAnalysis",
+    "QueryNode",
+    "RelationRef",
+    "ScanPlan",
+    "SelectPlan",
+    "SelectionNode",
+    "SetOpNode",
+    "SetOpPlan",
+    "analyze",
+    "execute_plan",
+    "is_non_repeating",
+    "iter_nodes",
+    "optimize_query",
+    "parse_query",
+    "plan_query",
+    "relation_references",
+]

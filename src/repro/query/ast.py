@@ -1,0 +1,90 @@
+"""Abstract syntax of TP set queries (Definition 4).
+
+The grammar of the paper::
+
+    Q ::= rᵢ | Q ∪Tp Q | Q ∩Tp Q | Q −Tp Q | (Q)
+
+is represented by two node types: :class:`RelationRef` (a leaf naming a
+catalog relation) and :class:`SetOpNode` (a binary operator application).
+Nodes are immutable and hashable, so analyses can memoize on subqueries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+__all__ = ["QueryNode", "RelationRef", "SetOpNode", "SelectionNode", "OP_TOKENS"]
+
+#: Operator name → the paper's infix symbol.
+OP_TOKENS = {"union": "∪", "intersect": "∩", "except": "−"}
+
+
+@dataclass(frozen=True, slots=True)
+class RelationRef:
+    """A leaf of the query tree: a reference to a named relation."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionNode:
+    """A selection σ[attribute=value] applied to a subquery.
+
+    The paper's Example 4 computes σF='milk'(c) −Tp σF='milk'(a);
+    the textual form is ``c[product='milk'] - a[product='milk']``.
+    Selection commutes with every TP set operation (it filters whole
+    facts, and set operations only combine equal facts), which the
+    optimizer exploits by pushing selections to the scans.
+    """
+
+    child: "QueryNode"
+    attribute: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"σ[{self.attribute}={self.value!r}]({self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class SetOpNode:
+    """An application of ∪Tp, ∩Tp or −Tp to two subqueries."""
+
+    op: str  # 'union' | 'intersect' | 'except'
+    left: "QueryNode"
+    right: "QueryNode"
+
+    def __post_init__(self) -> None:
+        if self.op not in OP_TOKENS:
+            raise ValueError(f"unknown TP set operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {OP_TOKENS[self.op]} {self.right})"
+
+
+QueryNode = Union[RelationRef, SetOpNode, SelectionNode]
+
+
+def iter_nodes(query: QueryNode) -> Iterator[QueryNode]:
+    """Pre-order traversal over all nodes of the query tree."""
+    stack: list[QueryNode] = [query]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, SetOpNode):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, SelectionNode):
+            stack.append(node.child)
+
+
+def relation_references(query: QueryNode) -> list[str]:
+    """Names of the referenced relations, with multiplicity, leaf order."""
+    if isinstance(query, RelationRef):
+        return [query.name]
+    if isinstance(query, SelectionNode):
+        return relation_references(query.child)
+    return relation_references(query.left) + relation_references(query.right)

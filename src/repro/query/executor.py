@@ -1,0 +1,54 @@
+"""Execution of physical TP set-query plans.
+
+The executor walks a physical plan bottom-up, computing every set
+operation with its bound algorithm.  Probabilities are materialized once,
+on the *root* result — intermediate relations carry lineage only, which
+mirrors how lineage-based probabilistic databases defer confidence
+computation to the end of query evaluation (and keeps repeated-subgoal
+queries correct: intermediate 1OF-based shortcuts are never taken).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.errors import UnknownRelationError
+from ..core.multiway import multi_intersect, multi_union
+from ..core.relation import TPRelation
+from .planner import MultiSetOpPlan, PhysicalPlan, ScanPlan, SelectPlan, SetOpPlan
+
+__all__ = ["execute_plan"]
+
+
+def execute_plan(
+    plan: PhysicalPlan,
+    catalog: Mapping[str, TPRelation],
+    *,
+    materialize: bool = True,
+) -> TPRelation:
+    """Evaluate a physical plan against a catalog of named relations."""
+    result = _run(plan, catalog)
+    if materialize:
+        result = result.materialize_probabilities()
+    return result
+
+
+def _run(plan: PhysicalPlan, catalog: Mapping[str, TPRelation]) -> TPRelation:
+    if isinstance(plan, ScanPlan):
+        try:
+            return catalog[plan.relation]
+        except KeyError as exc:
+            raise UnknownRelationError(
+                f"query references unknown relation {plan.relation!r}"
+            ) from exc
+    if isinstance(plan, SelectPlan):
+        child = _run(plan.child, catalog)
+        return child.select(**{plan.attribute: plan.value})
+    if isinstance(plan, MultiSetOpPlan):
+        inputs = [_run(child, catalog) for child in plan.children]
+        combine = multi_union if plan.op == "union" else multi_intersect
+        return combine(*inputs, materialize=False)
+    assert isinstance(plan, SetOpPlan)
+    left = _run(plan.left, catalog)
+    right = _run(plan.right, catalog)
+    return plan.algorithm.compute(plan.op, left, right, materialize=False)

@@ -1,0 +1,157 @@
+"""Logical rewrites for TP set queries.
+
+Two rewrites, both size-reducing in the number of sweep passes:
+
+1. **Associative flattening** (always sound): ``(a ∪ b) ∪ c`` and
+   ``(a ∩ b) ∩ c`` chains collapse into n-ary nodes executed by the
+   single-pass multiway sweep (:mod:`repro.core.multiway`).  Because the
+   lineage smart-constructors flatten nested ∧/∨, the output lineage is
+   *syntactically identical* to the binary chain's, so this rewrite is
+   fully transparent.
+2. **Difference fusion** (optional, ``aggressive=True``):
+   ``(a − b) − c  →  a − (b ∪ c)``.  Output facts, intervals and
+   probabilities are preserved, but lineage changes *form*
+   (``(λa∧¬λb)∧¬λc`` becomes ``λa∧¬(λb∨λc)``), so it is opt-in — like a
+   database optimizer that may rewrite expressions as long as results
+   agree.
+
+The optimizer works on an extended logical tree: ``MultiOpNode`` joins
+``RelationRef``/``SetOpNode``; the planner lowers it to a
+``MultiSetOpPlan`` and the executor runs the multiway sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .ast import OP_TOKENS, QueryNode, RelationRef, SelectionNode, SetOpNode
+
+__all__ = ["MultiOpNode", "OptimizedNode", "optimize_query"]
+
+
+@dataclass(frozen=True, slots=True)
+class MultiOpNode:
+    """An n-ary associative set operation (union or intersect)."""
+
+    op: str  # 'union' | 'intersect'
+    children: tuple["OptimizedNode", ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("union", "intersect"):
+            raise ValueError("only union/intersect are associative")
+        if len(self.children) < 2:
+            raise ValueError("an n-ary node needs at least two children")
+
+    def __str__(self) -> str:
+        token = OP_TOKENS[self.op]
+        return "(" + f" {token} ".join(str(c) for c in self.children) + ")"
+
+
+OptimizedNode = Union[RelationRef, SelectionNode, SetOpNode, MultiOpNode]
+
+
+def optimize_query(query: QueryNode, *, aggressive: bool = False) -> OptimizedNode:
+    """Apply the rewrite pipeline to a parsed query tree.
+
+    >>> from repro.query import parse_query
+    >>> str(optimize_query(parse_query("a | b | c")))
+    '(a ∪ b ∪ c)'
+    >>> str(optimize_query(parse_query("a - b - c"), aggressive=True))
+    '(a − (b ∪ c))'
+    """
+    node: OptimizedNode = query
+    node = _push_selections(node)
+    if aggressive:
+        node = _fuse_differences(node)
+    node = _flatten(node)
+    return node
+
+
+def _push_selections(node: OptimizedNode) -> OptimizedNode:
+    """σ(a op b) → σ(a) op σ(b): selections filter whole facts, and TP
+    set operations only ever combine equal facts, so selection commutes
+    with ∪/∩/− and is cheapest at the scans.  (Attributes are matched by
+    name; compatible relations are expected to share attribute names.)"""
+    if isinstance(node, RelationRef):
+        return node
+    if isinstance(node, SelectionNode):
+        child = _push_selections(node.child)
+        if isinstance(child, SetOpNode):
+            return SetOpNode(
+                child.op,
+                _push_selections(
+                    SelectionNode(child.left, node.attribute, node.value)
+                ),
+                _push_selections(
+                    SelectionNode(child.right, node.attribute, node.value)
+                ),
+            )
+        if isinstance(child, MultiOpNode):
+            return MultiOpNode(
+                child.op,
+                tuple(
+                    _push_selections(SelectionNode(c, node.attribute, node.value))
+                    for c in child.children
+                ),
+            )
+        return SelectionNode(child, node.attribute, node.value)
+    if isinstance(node, MultiOpNode):
+        return MultiOpNode(node.op, tuple(_push_selections(c) for c in node.children))
+    assert isinstance(node, SetOpNode)
+    return SetOpNode(
+        node.op, _push_selections(node.left), _push_selections(node.right)
+    )
+
+
+def _flatten(node: OptimizedNode) -> OptimizedNode:
+    if isinstance(node, RelationRef):
+        return node
+    if isinstance(node, SelectionNode):
+        return SelectionNode(_flatten(node.child), node.attribute, node.value)
+    if isinstance(node, MultiOpNode):
+        children = tuple(_flatten(c) for c in node.children)
+        return MultiOpNode(node.op, _absorb(node.op, children))
+    assert isinstance(node, SetOpNode)
+    left = _flatten(node.left)
+    right = _flatten(node.right)
+    if node.op in ("union", "intersect"):
+        children = _absorb(node.op, (left, right))
+        if len(children) > 2:
+            return MultiOpNode(node.op, children)
+        # Plain binary operation with no nested chain: keep as-is.
+        return SetOpNode(node.op, left, right)  # type: ignore[arg-type]
+    return SetOpNode(node.op, left, right)  # type: ignore[arg-type]
+
+
+def _absorb(op: str, children: tuple) -> tuple:
+    """Splice children of same-op nodes into one argument list."""
+    out: list = []
+    for child in children:
+        if isinstance(child, MultiOpNode) and child.op == op:
+            out.extend(child.children)
+        elif isinstance(child, SetOpNode) and child.op == op:
+            out.extend(_absorb(op, (child.left, child.right)))
+        else:
+            out.append(child)
+    return tuple(out)
+
+
+def _fuse_differences(node: OptimizedNode) -> OptimizedNode:
+    """(a − b) − c → a − (b ∪ c), recursively, bottom-up."""
+    if isinstance(node, RelationRef):
+        return node
+    if isinstance(node, SelectionNode):
+        return SelectionNode(
+            _fuse_differences(node.child), node.attribute, node.value
+        )
+    if isinstance(node, MultiOpNode):
+        return MultiOpNode(node.op, tuple(_fuse_differences(c) for c in node.children))
+    assert isinstance(node, SetOpNode)
+    left = _fuse_differences(node.left)
+    right = _fuse_differences(node.right)
+    if node.op == "except" and isinstance(left, SetOpNode) and left.op == "except":
+        # left = (a − b); this node = (a − b) − c  →  a − (b ∪ c).
+        fused_subtrahend = SetOpNode("union", left.right, right)  # type: ignore[arg-type]
+        return _fuse_differences(SetOpNode("except", left.left, fused_subtrahend))  # type: ignore[arg-type]
+    return SetOpNode(node.op, left, right)  # type: ignore[arg-type]

@@ -1,0 +1,165 @@
+"""Parser for textual TP set queries.
+
+Accepts SQL-style keywords and the paper's algebra symbols
+interchangeably::
+
+    c EXCEPT (a UNION b)
+    c − (a ∪ b)
+    c - (a | b)
+
+Operator precedence follows SQL: INTERSECT binds tighter than UNION and
+EXCEPT, which associate to the left at the same level.  Parentheses
+override as usual.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from ..core.errors import QueryParseError
+from .ast import QueryNode, RelationRef, SelectionNode, SetOpNode
+
+__all__ = ["parse_query"]
+
+
+def _to_number(text: str):
+    return float(text) if "." in text else int(text)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<eq>=)
+  | (?P<union>∪|\bUNION\b|\bunion\b|\|)
+  | (?P<intersect>∩|\bINTERSECT\b|\bintersect\b|&)
+  | (?P<string>'[^']*')
+  | (?P<number>−?\d+\.\d+|−?\d+)
+  | (?P<except>−|\bEXCEPT\b|\bexcept\b|\bMINUS\b|\bminus\b|-)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryParseError(
+                f"unexpected character at {text[pos:pos + 10]!r}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            yield _Token(kind, match.group())
+    yield _Token("eof", "")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> QueryNode:
+        query = self._union_level()
+        if self._peek().kind != "eof":
+            raise QueryParseError(f"trailing input: {self._peek().text!r}")
+        return query
+
+    def _union_level(self) -> QueryNode:
+        node = self._intersect_level()
+        while self._peek().kind in ("union", "except"):
+            op = "union" if self._advance().kind == "union" else "except"
+            node = SetOpNode(op, node, self._intersect_level())
+        return node
+
+    def _intersect_level(self) -> QueryNode:
+        node = self._atom()
+        while self._peek().kind == "intersect":
+            self._advance()
+            node = SetOpNode("intersect", node, self._atom())
+        return node
+
+    def _atom(self) -> QueryNode:
+        token = self._advance()
+        if token.kind == "lpar":
+            node: QueryNode = self._union_level()
+            closing = self._advance()
+            if closing.kind != "rpar":
+                raise QueryParseError("missing closing parenthesis")
+        elif token.kind == "name":
+            node = RelationRef(token.text)
+        else:
+            raise QueryParseError(f"unexpected token {token.text!r}")
+        # Postfix selections: r[product='milk'][store='hb'] …
+        while self._peek().kind == "lbracket":
+            node = self._selection(node)
+        return node
+
+    def _selection(self, child: QueryNode) -> SelectionNode:
+        self._advance()  # consume '['
+        attribute = self._advance()
+        if attribute.kind != "name":
+            raise QueryParseError(
+                f"selection expects an attribute name, got {attribute.text!r}"
+            )
+        if self._advance().kind != "eq":
+            raise QueryParseError("selection expects '=' after the attribute")
+        value = self._selection_value()
+        if self._advance().kind != "rbracket":
+            raise QueryParseError("missing closing ']' in selection")
+        return SelectionNode(child, attribute.text, value)
+
+    def _selection_value(self) -> object:
+        token = self._advance()
+        if token.kind == "string":
+            return token.text[1:-1]
+        if token.kind == "number":
+            return _to_number(token.text)
+        if token.kind == "except" and token.text == "-":
+            follow = self._advance()
+            if follow.kind != "number":
+                raise QueryParseError("expected a number after '-' in selection")
+            value = _to_number(follow.text)
+            return -value
+        if token.kind == "name":  # bare-word string value
+            return token.text
+        raise QueryParseError(f"bad selection value {token.text!r}")
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse a TP set query conforming to the Def. 4 grammar.
+
+    >>> str(parse_query("c - (a | b)"))
+    '(c − (a ∪ b))'
+    """
+    fixed = _normalize_except_fix(text)
+    return _Parser(fixed).parse()
+
+
+def _normalize_except_fix(text: str) -> str:
+    """Protect hyphens inside identifiers (none are allowed, so no-op).
+
+    Kept as an explicit extension point: identifiers are
+    ``[A-Za-z_][A-Za-z0-9_.]*`` so a bare ``-`` is always the operator.
+    """
+    return text

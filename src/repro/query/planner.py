@@ -1,0 +1,155 @@
+"""Physical planning of TP set queries.
+
+The planner lowers a Def. 4 query tree onto physical operators: scans of
+catalog relations and set-operation nodes bound to a concrete algorithm
+(LAWA by default; any Table-II baseline on request, subject to its
+declared support).  Planning validates algorithm capabilities early so a
+``TPDB`` plan containing a set difference fails at plan time, not at run
+time — the same constraint Table II documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..baselines.interface import SetOpAlgorithm
+from ..baselines.registry import get_algorithm
+from ..core.errors import UnsupportedOperationError
+from .ast import QueryNode, RelationRef, SelectionNode, SetOpNode
+
+__all__ = [
+    "ScanPlan",
+    "SelectPlan",
+    "SetOpPlan",
+    "MultiSetOpPlan",
+    "PhysicalPlan",
+    "plan_query",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScanPlan:
+    """Physical leaf: scan a named relation from the catalog."""
+
+    relation: str
+
+    def describe(self, indent: int = 0) -> str:
+        return " " * indent + f"Scan[{self.relation}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SetOpPlan:
+    """Physical set operation bound to an algorithm."""
+
+    op: str
+    algorithm: SetOpAlgorithm
+    left: "PhysicalPlan"
+    right: "PhysicalPlan"
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        lines = [f"{pad}{self.op.capitalize()}[{self.algorithm.name}]"]
+        lines.append(self.left.describe(indent + 2))
+        lines.append(self.right.describe(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class SelectPlan:
+    """Physical selection σ[attribute=value] over a child plan."""
+
+    attribute: str
+    value: object
+    child: "PhysicalPlan"
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        return (
+            f"{pad}Select[{self.attribute}={self.value!r}]\n"
+            + self.child.describe(indent + 2)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MultiSetOpPlan:
+    """n-ary union/intersection executed by the single-pass multiway sweep."""
+
+    op: str
+    children: tuple["PhysicalPlan", ...]
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        lines = [f"{pad}{self.op.capitalize()}[MULTIWAY×{len(self.children)}]"]
+        lines.extend(child.describe(indent + 2) for child in self.children)
+        return "\n".join(lines)
+
+
+PhysicalPlan = Union[ScanPlan, SelectPlan, SetOpPlan, MultiSetOpPlan]
+
+
+def plan_query(
+    query: QueryNode,
+    *,
+    algorithm: Union[str, SetOpAlgorithm, None] = None,
+    per_op_algorithms: Optional[dict] = None,
+) -> PhysicalPlan:
+    """Bind every operator of the query to a physical algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        Default algorithm (name or instance) for every operator;
+        ``None`` selects LAWA.
+    per_op_algorithms:
+        Optional overrides per logical operator, e.g.
+        ``{"intersect": "OIP"}`` — must still support the operation.
+    """
+    default = _resolve(algorithm) if algorithm is not None else get_algorithm("LAWA")
+    overrides = {
+        op: _resolve(spec) for op, spec in (per_op_algorithms or {}).items()
+    }
+    return _lower(query, default, overrides)
+
+
+def _resolve(spec: Union[str, SetOpAlgorithm]) -> SetOpAlgorithm:
+    if isinstance(spec, SetOpAlgorithm):
+        return spec
+    return get_algorithm(spec)
+
+
+def _lower(
+    query,
+    default: SetOpAlgorithm,
+    overrides: dict,
+) -> PhysicalPlan:
+    from .optimize import MultiOpNode
+
+    if isinstance(query, RelationRef):
+        return ScanPlan(query.name)
+    if isinstance(query, SelectionNode):
+        return SelectPlan(
+            attribute=query.attribute,
+            value=query.value,
+            child=_lower(query.child, default, overrides),
+        )
+    if isinstance(query, MultiOpNode):
+        return MultiSetOpPlan(
+            op=query.op,
+            children=tuple(
+                _lower(child, default, overrides) for child in query.children
+            ),
+        )
+    assert isinstance(query, SetOpNode)
+    algorithm = overrides.get(query.op, default)
+    if query.op not in algorithm.supports:
+        raise UnsupportedOperationError(
+            f"{algorithm.name} cannot compute TP set {query.op} "
+            f"(Table II); choose another algorithm for this operator"
+        )
+    return SetOpPlan(
+        op=query.op,
+        algorithm=algorithm,
+        left=_lower(query.left, default, overrides),
+        right=_lower(query.right, default, overrides),
+    )

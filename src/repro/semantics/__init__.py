@@ -1,0 +1,27 @@
+"""Reference semantics: snapshot oracle, possible worlds, property checks."""
+
+from .possible_worlds import marginal_via_worlds, world_probability, worlds
+from .properties import (
+    check_change_preservation,
+    check_duplicate_free,
+    check_snapshot_reducibility,
+)
+from .snapshot import (
+    snapshot_except,
+    snapshot_intersect,
+    snapshot_set_operation,
+    snapshot_union,
+)
+
+__all__ = [
+    "check_change_preservation",
+    "check_duplicate_free",
+    "check_snapshot_reducibility",
+    "marginal_via_worlds",
+    "snapshot_except",
+    "snapshot_intersect",
+    "snapshot_set_operation",
+    "snapshot_union",
+    "world_probability",
+    "worlds",
+]

@@ -1,0 +1,62 @@
+"""Shared fixtures: the paper's running example (Fig. 1) and helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro import TPRelation
+
+# One moderate profile for the whole suite: the snapshot-oracle property
+# tests are comparatively expensive per example, and the strategies are
+# small enough that 40 examples exercise the interesting interleavings.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rel_a() -> TPRelation:
+    """Relation a (productsBought) of Fig. 1a."""
+    return TPRelation.from_rows(
+        "a",
+        ("product",),
+        [("milk", 2, 10, 0.3), ("chips", 4, 7, 0.8), ("dates", 1, 3, 0.6)],
+    )
+
+
+@pytest.fixture
+def rel_b() -> TPRelation:
+    """Relation b (productsOrdered) of Fig. 1a."""
+    return TPRelation.from_rows(
+        "b",
+        ("product",),
+        [("milk", 5, 9, 0.6), ("chips", 3, 6, 0.9)],
+    )
+
+
+@pytest.fixture
+def rel_c() -> TPRelation:
+    """Relation c (productsInStock) of Fig. 1a."""
+    return TPRelation.from_rows(
+        "c",
+        ("product",),
+        [
+            ("milk", 1, 4, 0.6),
+            ("milk", 6, 8, 0.7),
+            ("chips", 4, 5, 0.7),
+            ("chips", 7, 9, 0.8),
+        ],
+    )
+
+
+def rows_of(relation: TPRelation) -> set[tuple]:
+    """Hashable (fact, lineage text, start, end, rounded p) summary."""
+    return {
+        (t.fact, str(t.lineage), t.start, t.end, None if t.p is None else round(t.p, 6))
+        for t in relation
+    }

@@ -1,0 +1,55 @@
+"""Hypothesis strategies for random duplicate-free TP relations."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import Interval, TPRelation, TPSchema, base_tuple
+
+FACT_POOL = [("x",), ("y",), ("z",)]
+
+
+@st.composite
+def disjoint_intervals(draw, max_intervals: int = 5, max_len: int = 5, max_gap: int = 4):
+    """A chain of disjoint (possibly adjacent) intervals."""
+    count = draw(st.integers(min_value=0, max_value=max_intervals))
+    cursor = draw(st.integers(min_value=0, max_value=5))
+    intervals = []
+    for _ in range(count):
+        cursor += draw(st.integers(min_value=0, max_value=max_gap))
+        length = draw(st.integers(min_value=1, max_value=max_len))
+        intervals.append(Interval(cursor, cursor + length))
+        cursor += length
+    return intervals
+
+
+@st.composite
+def tp_relation(
+    draw,
+    name: str,
+    max_facts: int = 3,
+    max_intervals: int = 4,
+    max_len: int = 5,
+    max_gap: int = 4,
+):
+    """A random duplicate-free base relation over a tiny fact pool."""
+    n_facts = draw(st.integers(min_value=1, max_value=max_facts))
+    tuples = []
+    events = {}
+    counter = 0
+    for fact in FACT_POOL[:n_facts]:
+        for interval in draw(
+            disjoint_intervals(max_intervals=max_intervals, max_len=max_len, max_gap=max_gap)
+        ):
+            counter += 1
+            identifier = f"{name}{counter}"
+            p = draw(st.floats(min_value=0.05, max_value=1.0, allow_nan=False))
+            tuples.append(base_tuple(fact, identifier, interval, p))
+            events[identifier] = p
+    return TPRelation(name, TPSchema(("fact",)), tuples, events)
+
+
+@st.composite
+def tp_relation_pair(draw, **kwargs):
+    """Two independent duplicate-free relations over the same schema."""
+    return draw(tp_relation("r", **kwargs)), draw(tp_relation("s", **kwargs))

@@ -1,0 +1,151 @@
+"""Tests for expected-value aggregation and streaming set operations."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro import TPRelation, tp_except, tp_intersect, tp_union
+from repro.algebra import (
+    expected_count,
+    expected_sum,
+    stream_except,
+    stream_intersect,
+    stream_union,
+)
+from repro.core.sorting import sort_tuples
+
+from .strategies import tp_relation, tp_relation_pair
+
+
+class TestExpectedCount:
+    def test_doc_example(self):
+        r = TPRelation.from_rows(
+            "r", ("x",), [("a", 1, 5, 0.5), ("b", 3, 7, 0.25)]
+        )
+        pieces = [(str(iv), v) for iv, v in expected_count(r)]
+        assert pieces == [("[1,3)", 0.5), ("[3,5)", 0.75), ("[5,7)", 0.25)]
+
+    def test_empty(self):
+        empty = TPRelation.from_rows("r", ("x",), [])
+        assert len(expected_count(empty)) == 0
+        assert expected_count(empty).at(5) == 0.0
+
+    def test_gap_produces_no_piece(self):
+        r = TPRelation.from_rows("r", ("x",), [("a", 1, 3, 0.5), ("a", 7, 9, 0.5)])
+        function = expected_count(r)
+        assert function.at(5) == 0.0
+        assert len(function) == 2
+
+    def test_adjacent_equal_levels_merge(self):
+        r = TPRelation.from_rows("r", ("x",), [("a", 1, 3, 0.5), ("b", 3, 6, 0.5)])
+        function = expected_count(r)
+        assert [(str(iv), v) for iv, v in function] == [("[1,6)", 0.5)]
+
+    def test_support(self):
+        r = TPRelation.from_rows("r", ("x",), [("a", 2, 4, 0.5)])
+        assert str(expected_count(r).support()) == "[2,4)"
+        empty = TPRelation.from_rows("r", ("x",), [])
+        assert expected_count(empty).support() is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(r=tp_relation("r"))
+    def test_pointwise_linearity(self, r):
+        function = expected_count(r)
+        span = r.time_span()
+        if span is None:
+            return
+        for point in range(span.start, span.end):
+            expected = sum(
+                t.p for t in r if t.interval.contains_point(point) and t.p
+            )
+            assert function.at(point) == pytest.approx(expected, abs=1e-9)
+
+
+class TestExpectedSum:
+    def test_weighted(self):
+        r = TPRelation.from_rows(
+            "r", ("item", "qty"), [("milk", 10, 1, 5, 0.5), ("milk", 4, 3, 7, 1.0)]
+        )
+        function = expected_sum(r, "qty")
+        assert function.at(1) == pytest.approx(5.0)
+        assert function.at(3) == pytest.approx(9.0)
+        assert function.at(6) == pytest.approx(4.0)
+
+    def test_non_numeric_rejected(self):
+        r = TPRelation.from_rows("r", ("item",), [("milk", 1, 5, 0.5)])
+        with pytest.raises(TypeError):
+            expected_sum(r, "item")
+
+    def test_zero_valued_attribute(self):
+        r = TPRelation.from_rows(
+            "r", ("item", "qty"), [("a", 0, 1, 5, 0.5), ("b", 2, 3, 7, 0.5)]
+        )
+        function = expected_sum(r, "qty")
+        assert function.at(1) == pytest.approx(0.0)
+        assert function.at(4) == pytest.approx(1.0)
+
+
+class TestStreaming:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=tp_relation_pair())
+    def test_streams_equal_materialized(self, pair):
+        r, s = pair
+        r_sorted = sort_tuples(r.tuples)
+        s_sorted = sort_tuples(s.tuples)
+        for stream_fn, batch_fn in (
+            (stream_union, tp_union),
+            (stream_intersect, tp_intersect),
+            (stream_except, tp_except),
+        ):
+            streamed = {
+                (t.fact, t.interval, t.lineage)
+                for t in stream_fn(iter(r_sorted), iter(s_sorted))
+            }
+            batch = {
+                (t.fact, t.interval, t.lineage)
+                for t in batch_fn(r, s, materialize=False)
+            }
+            assert streamed == batch
+
+    def test_lazy_consumption(self, rel_a, rel_c):
+        """The stream yields without exhausting the inputs first."""
+        r_sorted = sort_tuples(rel_c.tuples)
+        s_sorted = sort_tuples(rel_a.tuples)
+        consumed = []
+
+        def tracking(tuples):
+            for t in tuples:
+                consumed.append(t)
+                yield t
+
+        stream = stream_union(tracking(r_sorted), tracking(s_sorted))
+        first = next(stream)
+        assert first is not None
+        assert len(consumed) < len(r_sorted) + len(s_sorted)
+
+    def test_accepts_generators_of_unbounded_prefix(self):
+        """Constant state: results appear long before the stream ends."""
+
+        def endless(name):
+            for i in itertools.count():
+                from repro import Interval, base_tuple
+
+                yield base_tuple(("f",), f"{name}{i}", Interval(3 * i, 3 * i + 2), 0.5)
+
+        stream = stream_intersect(endless("r"), endless("s"))
+        first_five = [next(stream) for _ in range(5)]
+        assert len(first_five) == 5
+
+    def test_unsorted_input_detected(self):
+        from repro import Interval, base_tuple
+
+        bad = [
+            base_tuple(("f",), "r2", Interval(10, 12), 0.5),
+            base_tuple(("f",), "r1", Interval(0, 2), 0.5),
+        ]
+        good = [base_tuple(("f",), "s1", Interval(0, 2), 0.5)]
+        with pytest.raises(ValueError, match="sorted"):
+            list(stream_union(iter(bad), iter(good)))

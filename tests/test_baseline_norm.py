@@ -1,0 +1,97 @@
+"""Tests specific to the NORM baseline (normalization operator)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import TPRelation
+from repro.baselines.norm import NormAlgorithm, normalize
+
+from .strategies import tp_relation_pair
+
+relaxed = settings(
+    max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestNormalize:
+    def test_splits_at_overlapping_boundaries(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 10, 0.5)])
+        s = TPRelation.from_rows(
+            "s", ("x",), [("f", 2, 3, 0.5), ("f", 5, 6, 0.5)]
+        )
+        pieces = normalize(r, s)
+        assert [(p.start, p.end) for p in pieces] == [
+            (1, 2),
+            (2, 3),
+            (3, 5),
+            (5, 6),
+            (6, 10),
+        ]
+        assert all(str(p.lineage) == "r1" for p in pieces)
+
+    def test_ignores_other_facts(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 10, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("g", 2, 3, 0.5)])
+        pieces = normalize(r, s)
+        assert [(p.start, p.end) for p in pieces] == [(1, 10)]
+
+    def test_boundary_on_edge_not_split(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 2, 6, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 2, 6, 0.5)])
+        pieces = normalize(r, s)
+        assert [(p.start, p.end) for p in pieces] == [(2, 6)]
+
+    def test_not_symmetric(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 10, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 4, 6, 0.5)])
+        assert len(normalize(r, s)) == 3  # r split by s
+        assert len(normalize(s, r)) == 1  # s inside r: no interior cut
+
+    @relaxed
+    @given(pair=tp_relation_pair())
+    def test_pieces_partition_originals(self, pair):
+        """Normalization replicates tuples: pieces tile each original."""
+        r, s = pair
+        pieces = normalize(r, s)
+        by_lineage: dict = {}
+        for piece in pieces:
+            by_lineage.setdefault(piece.lineage, []).append(piece.interval)
+        originals = {t.lineage: t.interval for t in r}
+        assert set(by_lineage) == set(originals)
+        for lineage, intervals in by_lineage.items():
+            intervals.sort(key=lambda iv: iv.start)
+            original = originals[lineage]
+            assert intervals[0].start == original.start
+            assert intervals[-1].end == original.end
+            for left, right in zip(intervals, intervals[1:]):
+                assert left.end == right.start  # contiguous tiling
+
+    @relaxed
+    @given(pair=tp_relation_pair())
+    def test_alignment_property(self, pair):
+        """After mutual normalization, same-fact pieces are equal or disjoint."""
+        r, s = pair
+        pieces_r = normalize(r, s)
+        pieces_s = normalize(s, r)
+        for pr in pieces_r:
+            for ps in pieces_s:
+                if pr.fact != ps.fact:
+                    continue
+                assert (
+                    pr.interval == ps.interval
+                    or not pr.interval.overlaps(ps.interval)
+                ), f"misaligned pieces {pr.interval} vs {ps.interval}"
+
+
+class TestNormEndToEnd:
+    def test_paper_query(self, rel_a, rel_b, rel_c):
+        """Fig. 1's full query evaluated entirely with NORM operators."""
+        norm = NormAlgorithm()
+        union = norm.compute("union", rel_a, rel_b)
+        result = norm.compute("except", rel_c, union)
+        rows = {
+            (t.fact, str(t.lineage), t.start, t.end, round(t.p, 6)) for t in result
+        }
+        assert (("milk",), "c2∧¬(a1∨b1)", 6, 8, 0.196) in rows
+        assert len(rows) == 5

@@ -1,0 +1,104 @@
+"""Tests specific to the OIP partitioning and the Timeline Index."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro import Interval, TPRelation
+from repro.baselines.oip import OipAlgorithm, OipPartitioning
+from repro.baselines.timeline import TimelineIndex, TimelineIndexAlgorithm
+
+from .strategies import tp_relation, tp_relation_pair
+
+relaxed = settings(
+    max_examples=50, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+class TestOipPartitioning:
+    def test_tuples_assigned_to_spanning_partition(self):
+        r = TPRelation.from_rows(
+            "r", ("x",), [("f", 0, 3, 0.5), ("f", 10, 22, 0.5)]
+        )
+        partitioning = OipPartitioning(list(r.tuples), origin=0, granule_length=5)
+        assert set(partitioning.partitions) == {(0, 0), (2, 4)}
+
+    def test_probe_finds_overlapping_partitions(self):
+        r = TPRelation.from_rows(
+            "r", ("x",), [("f", 0, 3, 0.5), ("f", 10, 22, 0.5)]
+        )
+        partitioning = OipPartitioning(list(r.tuples), origin=0, granule_length=5)
+        assert set(partitioning.probe(0, 1)) == {(0, 0)}
+        assert set(partitioning.probe(3, 3)) == {(2, 4)}
+        assert set(partitioning.probe(0, 4)) == {(0, 0), (2, 4)}
+
+    def test_probe_deduplicates(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 0, 22, 0.5)])
+        partitioning = OipPartitioning(list(r.tuples), origin=0, granule_length=5)
+        assert partitioning.probe(0, 4) == [(0, 4)]
+
+    @relaxed
+    @given(relation=tp_relation("r"))
+    def test_every_tuple_in_exactly_one_partition(self, relation):
+        if not len(relation):
+            return
+        partitioning = OipPartitioning(list(relation.tuples), origin=0, granule_length=3)
+        total = sum(len(tuples) for tuples in partitioning.partitions.values())
+        assert total == len(relation)
+
+    def test_fixed_granule_length_override(self, rel_a, rel_c):
+        fine = OipAlgorithm(granule_length=1)
+        coarse = OipAlgorithm(granule_length=1000)
+        expected = OipAlgorithm().compute("intersect", rel_a, rel_c)
+        assert fine.compute("intersect", rel_a, rel_c).equivalent_to(expected)
+        assert coarse.compute("intersect", rel_a, rel_c).equivalent_to(expected)
+
+
+class TestTimelineIndex:
+    def test_events_sorted_ends_before_starts(self):
+        r = TPRelation.from_rows(
+            "r", ("x",), [("f", 1, 5, 0.5), ("f", 5, 9, 0.5)]
+        )
+        index = TimelineIndex(r)
+        assert index.events == sorted(index.events)
+        # At t=5 the end event (is_start=0) precedes the start event.
+        at_five = [e for e in index.events if e[0] == 5]
+        assert [e[1] for e in at_five] == [0, 1]
+
+    def test_fetch(self, rel_a):
+        index = TimelineIndex(rel_a)
+        assert index.fetch(0) == rel_a.tuples[0]
+
+    @relaxed
+    @given(pair=tp_relation_pair())
+    def test_join_pairs_complete_and_unique(self, pair):
+        """The merge join must emit exactly the temporally-overlapping
+        (rid, sid) pairs, each exactly once — before any fact filter."""
+        r, s = pair
+        index_r, index_s = TimelineIndex(r), TimelineIndex(s)
+        pairs = TimelineIndexAlgorithm._timeline_join(index_r, index_s)
+        assert len(pairs) == len(set(pairs)), "duplicate pairs"
+        expected = {
+            (rid, sid)
+            for rid, rt in enumerate(index_r.tuples)
+            for sid, st_ in enumerate(index_s.tuples)
+            if rt.interval.overlaps(st_.interval)
+        }
+        assert set(pairs) == expected
+
+    def test_fact_filter_applied_after_pairing(self):
+        # Overlapping intervals with different facts: pair formed, then
+        # rejected by the non-temporal filter — the TI cost the paper
+        # highlights.
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 5, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("g", 2, 4, 0.5)])
+        index_r, index_s = TimelineIndex(r), TimelineIndex(s)
+        pairs = TimelineIndexAlgorithm._timeline_join(index_r, index_s)
+        assert pairs == [(0, 0)]  # the pair exists ...
+        result = TimelineIndexAlgorithm().compute("intersect", r, s)
+        assert len(result) == 0  # ... but the filter rejects it
+
+
+class TestIntervalHelpers:
+    def test_interval_reexported(self):
+        assert Interval(1, 2).duration == 1

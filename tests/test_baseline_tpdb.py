@@ -1,0 +1,80 @@
+"""Tests specific to the TPDB baseline (grounding + deduplication)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Interval, TPRelation, UnsupportedOperationError
+from repro.baselines.tpdb import ALLEN_OVERLAP_RULES, TpdbAlgorithm
+
+
+def make_interval(a: int, b: int) -> Interval:
+    return Interval(min(a, b), max(a, b)) if a != b else Interval(a, a + 1)
+
+
+interval_strategy = st.builds(
+    make_interval,
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=0, max_value=30),
+)
+
+
+class TestGroundingRules:
+    @given(interval_strategy, interval_strategy)
+    def test_rules_mutually_exclusive(self, a, b):
+        """Each overlapping pair must be derived by exactly one rule —
+        otherwise grounding would create duplicate derivations."""
+        fired = [rule for rule in ALLEN_OVERLAP_RULES if rule(a, b)]
+        assert len(fired) <= 1
+
+    @given(interval_strategy, interval_strategy)
+    def test_rules_cover_exactly_the_overlaps(self, a, b):
+        fired = [rule for rule in ALLEN_OVERLAP_RULES if rule(a, b)]
+        assert bool(fired) == a.overlaps(b)
+
+    def test_six_rules(self):
+        assert len(ALLEN_OVERLAP_RULES) == 6
+
+
+class TestTpdbBehaviour:
+    def test_difference_unsupported(self, rel_a, rel_c):
+        """Table II: TPDB cannot express TP set difference."""
+        with pytest.raises(UnsupportedOperationError):
+            TpdbAlgorithm().compute("except", rel_a, rel_c)
+
+    def test_union_merges_overlap_lineage(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 6, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 4, 9, 0.5)])
+        result = TpdbAlgorithm().compute("union", r, s)
+        rows = {(t.start, t.end, str(t.lineage)) for t in result}
+        assert rows == {
+            (1, 4, "r1"),
+            (4, 6, "r1∨s1"),
+            (6, 9, "s1"),
+        }
+
+    def test_dedup_coalesces_fragments(self):
+        # A tuple fragmented by the other side's boundary inside a region
+        # with identical lineage must be re-merged by deduplication.
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 10, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("g", 1, 10, 0.5)])
+        result = TpdbAlgorithm().compute("union", r, s)
+        assert {(t.fact, t.start, t.end) for t in result} == {
+            (("f",), 1, 10),
+            (("g",), 1, 10),
+        }
+
+    def test_intersection_equal_intervals(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 2, 6, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 2, 6, 0.5)])
+        result = TpdbAlgorithm().compute("intersect", r, s)
+        assert {(t.start, t.end, str(t.lineage)) for t in result} == {
+            (2, 6, "r1∧s1")
+        }
+
+    def test_intersection_no_common_fact(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 2, 6, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("g", 2, 6, 0.5)])
+        assert len(TpdbAlgorithm().compute("intersect", r, s)) == 0

@@ -1,0 +1,173 @@
+"""Tests for the benchmark harness: runner, report, figure drivers, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import LawaAlgorithm, get_algorithm
+from repro.bench import (
+    SeriesResult,
+    SweepRunner,
+    fig7,
+    fig9a,
+    fig9b,
+    fig10,
+    fig11,
+    lawa_scaling,
+    materialization_cost,
+    render_scaling,
+    render_series,
+    sample_relation,
+    save_series_csv,
+    sort_strategies,
+    table2,
+    table4,
+    time_setop,
+    window_bound,
+)
+from repro.datasets import generate_pair
+
+
+class TestRunner:
+    def test_time_setop_returns_positive(self, rel_a, rel_c):
+        seconds, size = time_setop(LawaAlgorithm(), "intersect", rel_a, rel_c)
+        assert seconds > 0
+        assert size == 3
+
+    def test_budget_truncates_series(self):
+        class SlowFake(LawaAlgorithm):
+            name = "SLOW"
+
+            def compute(self, op, r, s, *, materialize=True):
+                import time
+
+                time.sleep(0.05)
+                return super().compute(op, r, s, materialize=materialize)
+
+        result = SeriesResult("Fig. T", "test", "tuples", "intersect")
+        points = [
+            (float(n), lambda n=n: generate_pair(n, seed=0)) for n in (50, 100, 200)
+        ]
+        runner = SweepRunner(budget_seconds=0.01)
+        runner.run(result, points, [SlowFake()])
+        skipped = [m for m in result.measurements if m.skipped]
+        assert len(skipped) == 2  # first run exceeds budget, rest skipped
+        assert result.notes
+
+    def test_unsupported_ops_not_scheduled(self):
+        result = SeriesResult("Fig. T", "test", "tuples", "except")
+        points = [(50.0, lambda: generate_pair(50, seed=0))]
+        SweepRunner().run(result, points, [get_algorithm("OIP")])
+        assert result.measurements == []
+
+
+class TestReport:
+    def test_render_series(self):
+        result = SeriesResult("Fig. T", "test", "tuples", "intersect")
+        points = [(float(n), lambda n=n: generate_pair(n, seed=0)) for n in (50, 100)]
+        SweepRunner().run(result, points, [LawaAlgorithm()])
+        text = render_series(result)
+        assert "Fig. T" in text
+        assert "LAWA" in text
+        assert "50" in text and "100" in text
+
+    def test_save_csv(self, tmp_path):
+        result = SeriesResult("Fig. T", "test", "tuples", "intersect")
+        points = [(50.0, lambda: generate_pair(50, seed=0))]
+        SweepRunner().run(result, points, [LawaAlgorithm()])
+        out = tmp_path / "series.csv"
+        save_series_csv(result, out)
+        content = out.read_text()
+        assert "approach" in content and "LAWA" in content
+
+
+class TestFigureDrivers:
+    """Smoke runs at tiny sizes: drivers must produce complete series."""
+
+    def test_fig7_intersect(self):
+        result = fig7("intersect", sizes=(60, 120), budget_seconds=30)
+        series = result.series()
+        assert set(series) == {"LAWA", "NORM", "TPDB", "OIP", "TI"}
+        assert all(len(points) == 2 for points in series.values())
+
+    def test_fig7_except_participants(self):
+        result = fig7("except", sizes=(60,), budget_seconds=30)
+        assert set(result.series()) == {"LAWA", "NORM"}
+
+    def test_fig7_union_participants(self):
+        result = fig7("union", sizes=(60,), budget_seconds=30)
+        assert set(result.series()) == {"LAWA", "NORM", "TPDB"}
+
+    def test_fig8(self):
+        from repro.bench import fig8
+
+        result = fig8(sizes=(100, 200), budget_seconds=30)
+        assert set(result.series()) == {"LAWA", "OIP"}
+        assert all(len(points) == 2 for points in result.series().values())
+
+    def test_fig9a(self):
+        result = fig9a(n_tuples=300, budget_seconds=30)
+        assert set(result.series()) == {"LAWA", "OIP"}
+        assert len(result.series()["LAWA"]) == 5  # the five Table III configs
+        assert any("measured OF" in note for note in result.notes)
+
+    def test_fig9b(self):
+        result = fig9b(n_tuples=300, fact_counts=(1, 10), budget_seconds=30)
+        assert set(result.series()) == {"LAWA", "NORM", "TPDB", "OIP", "TI"}
+
+    def test_fig10(self):
+        result = fig10("intersect", sizes=(200, 400), budget_seconds=30)
+        assert len(result.series()["LAWA"]) == 2
+
+    def test_fig11(self):
+        result = fig11("union", sizes=(200,), budget_seconds=30)
+        assert set(result.series()) == {"LAWA", "NORM", "TPDB"}
+
+    def test_sample_relation(self):
+        r, _ = generate_pair(100, seed=0)
+        sub = sample_relation(r, 10, seed=1)
+        assert len(sub) == 10
+        assert sample_relation(r, 1000) is r
+
+
+class TestTables:
+    def test_table2(self):
+        text = table2()
+        assert "LAWA" in text and "TI" in text
+
+    def test_table4(self):
+        text = table4(n_tuples=1000, seed=0)
+        assert "Cardinality" in text
+        assert "10.2M" in text  # the published reference values
+
+
+class TestAblations:
+    def test_lawa_scaling_flat(self):
+        points = lawa_scaling(sizes=(1000, 4000), seed=0)
+        assert len(points) == 2
+        # Linearithmic behaviour: the n·log n ratio stays within a small
+        # constant band (allow 4x for noise at tiny sizes).
+        ratios = [p.per_nlogn for p in points]
+        assert max(ratios) / min(ratios) < 4.0
+        assert "ns" in render_scaling(points)
+
+    def test_window_bound_holds(self):
+        info = window_bound(n=2000, seed=0)
+        assert info["windows"] <= info["bound"]
+        assert info["slack"] >= 0
+
+    def test_sort_strategies_both_timed(self):
+        timings = sort_strategies(n=5000, seed=0)
+        assert set(timings) == {"comparison", "counting"}
+        assert all(v > 0 for v in timings.values())
+
+    def test_materialization_cost(self):
+        cost = materialization_cost(n=2000, seed=0)
+        # Timing noise can make the share slightly negative on fast
+        # machines; it must stay finite and below 1.
+        assert cost["valuation_share"] <= 1.0
+        assert math.isfinite(cost["valuation_share"])
+        assert cost["with_probabilities"] > 0
+        assert cost["without_probabilities"] > 0

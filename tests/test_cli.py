@@ -1,0 +1,100 @@
+"""Tests for the command-line entry points (repro.db, repro.bench)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.db import load_json, save_csv, save_json
+from repro.db.__main__ import main as db_main
+
+
+@pytest.fixture
+def relation_files(rel_a, rel_c, tmp_path):
+    a_path = tmp_path / "a.csv"
+    c_path = tmp_path / "c.json"
+    save_csv(rel_a, a_path)
+    save_json(rel_c, c_path)
+    return a_path, c_path
+
+
+class TestDbCli:
+    def test_query_to_stdout(self, relation_files, capsys):
+        a_path, c_path = relation_files
+        code = db_main(
+            ["--load", f"a={a_path}", "--load", f"c={c_path}", "--query", "a & c"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a1∧c1" in out
+
+    def test_explain(self, relation_files, capsys):
+        a_path, c_path = relation_files
+        code = db_main(
+            ["--load", f"a={a_path}", "--load", f"c={c_path}", "--explain", "a - c"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Except[LAWA]" in out
+        assert "PTIME" in out
+
+    def test_algorithm_option(self, relation_files, capsys):
+        a_path, c_path = relation_files
+        code = db_main(
+            [
+                "--load",
+                f"a={a_path}",
+                "--load",
+                f"c={c_path}",
+                "--query",
+                "a & c",
+                "--algorithm",
+                "NORM",
+            ]
+        )
+        assert code == 0
+
+    def test_output_json(self, relation_files, tmp_path, capsys):
+        a_path, c_path = relation_files
+        out_path = tmp_path / "result.json"
+        db_main(
+            [
+                "--load",
+                f"a={a_path}",
+                "--load",
+                f"c={c_path}",
+                "--query",
+                "a | c",
+                "--out",
+                str(out_path),
+            ]
+        )
+        result = load_json(out_path)
+        assert len(result) == 9  # Fig. 3 union row count
+
+    def test_bad_load_spec(self):
+        with pytest.raises(SystemExit):
+            db_main(["--load", "just-a-path.csv", "--query", "a"])
+
+    def test_bad_format(self, tmp_path):
+        bogus = tmp_path / "rel.parquet"
+        bogus.write_text("")
+        with pytest.raises(SystemExit):
+            db_main(["--load", f"r={bogus}", "--query", "r"])
+
+    def test_query_required(self, relation_files):
+        a_path, _ = relation_files
+        with pytest.raises(SystemExit):
+            db_main(["--load", f"a={a_path}"])
+
+
+class TestBenchCli:
+    def test_table2_only(self, tmp_path, capsys):
+        code = bench_main(["table2", "--outdir", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert "LAWA" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(["fig99", "--outdir", str(tmp_path)])

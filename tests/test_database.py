@@ -1,0 +1,181 @@
+"""Tests for the TPDatabase facade, catalog and repeated-subgoal queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UnknownRelationError, UnsupportedOperationError
+from repro.db import TPDatabase
+from repro.semantics import marginal_via_worlds
+
+
+@pytest.fixture
+def db(rel_a, rel_b, rel_c) -> TPDatabase:
+    database = TPDatabase()
+    database.register(rel_a)
+    database.register(rel_b)
+    database.register(rel_c)
+    return database
+
+
+class TestDataDefinition:
+    def test_create_relation(self):
+        db = TPDatabase()
+        r = db.create_relation("inv", ("item",), [("milk", 1, 4, 0.6)])
+        assert db.relation("inv") is r
+
+    def test_duplicate_name_rejected(self, db, rel_a):
+        with pytest.raises(ValueError, match="already registered"):
+            db.register(rel_a)
+
+    def test_replace(self, db, rel_a):
+        db.register(rel_a.rename("a"), replace=True)
+
+    def test_invalid_name_rejected(self):
+        db = TPDatabase()
+        with pytest.raises(ValueError, match="identifier"):
+            db.create_relation("not a name!", ("x",), [("v", 1, 2, 0.5)])
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.relation("ghost")
+
+    def test_drop(self, db):
+        db.catalog.drop("a")
+        with pytest.raises(UnknownRelationError):
+            db.relation("a")
+
+    def test_catalog_mapping_protocol(self, db):
+        assert set(db.catalog) == {"a", "b", "c"}
+        assert len(db.catalog) == 3
+
+
+class TestQuerying:
+    def test_paper_query_text(self, db):
+        result = db.query("c - (a | b)")
+        assert len(result) == 5
+
+    def test_algorithm_selection(self, db):
+        lawa = db.query("a & c")
+        norm = db.query("a & c", algorithm="NORM")
+        assert lawa.equivalent_to(norm)
+
+    def test_capability_violation(self, db):
+        with pytest.raises(UnsupportedOperationError):
+            db.query("a - c", algorithm="OIP")
+
+    def test_explain(self, db):
+        text = db.explain("c - (a | b)")
+        assert "Except[LAWA]" in text
+        assert "PTIME" in text
+
+    def test_analyze(self, db):
+        assert db.analyze("c - (a | b)").non_repeating
+
+    def test_repr(self, db):
+        assert "3 relations" in repr(db)
+
+
+class TestRepeatedSubgoals:
+    """Queries outside Theorem 1: repeated relations, #P-hard lineage.
+
+    The executor must still produce numerically correct probabilities by
+    falling back to exact non-1OF valuation; we verify against
+    brute-force possible-worlds enumeration of the whole query.
+    """
+
+    def test_r_minus_r_is_empty_probability(self):
+        db = TPDatabase()
+        db.create_relation("r", ("x",), [("v", 1, 5, 0.7)])
+        result = db.query("r - r")
+        # r −Tp r keeps the tuple (probabilistic difference) with lineage
+        # r1 ∧ ¬r1 ≡ false, so its probability must be exactly 0.
+        (t,) = list(result)
+        assert str(t.lineage) == "r1∧¬r1"
+        assert t.p == pytest.approx(0.0)
+
+    def test_r_union_r_keeps_probability(self):
+        db = TPDatabase()
+        db.create_relation("r", ("x",), [("v", 1, 5, 0.7)])
+        (t,) = list(db.query("r | r"))
+        assert t.p == pytest.approx(0.7)
+
+    def test_hard_query_against_worlds(self, rel_a, rel_c):
+        """(a ∪ c) − (a ∩ c): the symmetric difference idiom, with `a`
+        and `c` repeated — lineage is not 1OF."""
+        db = TPDatabase()
+        db.register(rel_a)
+        db.register(rel_c)
+        result = db.query("(a | c) - (a & c)")
+        analysis = db.analyze("(a | c) - (a & c)")
+        assert not analysis.non_repeating
+
+        for t in result:
+            for point in (t.start, t.end - 1):
+                in_a = any(
+                    u.fact == t.fact and u.interval.contains_point(point) for u in rel_a
+                )
+                in_c = any(
+                    u.fact == t.fact and u.interval.contains_point(point) for u in rel_c
+                )
+                # symmetric difference marginal via inclusion-exclusion
+                # over the two independent base tuples (at most one each).
+                p_a = next(
+                    (
+                        u.p
+                        for u in rel_a
+                        if u.fact == t.fact and u.interval.contains_point(point)
+                    ),
+                    0.0,
+                )
+                p_c = next(
+                    (
+                        u.p
+                        for u in rel_c
+                        if u.fact == t.fact and u.interval.contains_point(point)
+                    ),
+                    0.0,
+                )
+                expected = p_a + p_c - 2 * p_a * p_c if (in_a or in_c) else 0.0
+                assert t.p == pytest.approx(expected), (t.fact, point)
+
+    def test_hard_query_small_worlds_oracle(self):
+        db = TPDatabase()
+        db.create_relation("r1", ("x",), [("v", 0, 4, 0.5)])
+        db.create_relation("r2", ("x",), [("v", 2, 6, 0.4)])
+        db.create_relation("r3", ("x",), [("v", 1, 5, 0.9)])
+        # The paper's #P-hard example query shape.
+        result = db.query("(r1 | r2) - (r1 & r3)")
+        r1, r2, r3 = db.relation("r1"), db.relation("r2"), db.relation("r3")
+        events = {**r1.events, **r2.events, **r3.events}
+        from itertools import product as cartesian
+
+        for t in result:
+            point = t.start
+            expected = 0.0
+            for bits in cartesian((False, True), repeat=3):
+                world = dict(zip(sorted(events), bits))
+                weight = 1.0
+                for name, present in world.items():
+                    weight *= events[name] if present else 1 - events[name]
+                in_r1 = world["r11"] and r1.tuples[0].interval.contains_point(point)
+                in_r2 = world["r21"] and r2.tuples[0].interval.contains_point(point)
+                in_r3 = world["r31"] and r3.tuples[0].interval.contains_point(point)
+                if (in_r1 or in_r2) and not (in_r1 and in_r3):
+                    expected += weight
+            assert t.p == pytest.approx(expected), t
+
+
+class TestWorldOracleHelpers:
+    def test_marginal_via_worlds_simple(self, rel_a, rel_c):
+        # 'milk' at t=2: in a (p=.3) and in c (p=.6) → union marginal.
+        p = marginal_via_worlds("union", rel_a, rel_c, ("milk",), 2)
+        assert p == pytest.approx(1 - 0.7 * 0.4)
+
+    def test_marginal_except(self, rel_a, rel_c):
+        p = marginal_via_worlds("except", rel_c, rel_a, ("milk",), 2)
+        assert p == pytest.approx(0.6 * 0.7)
+
+    def test_unknown_op(self, rel_a, rel_c):
+        with pytest.raises(ValueError):
+            marginal_via_worlds("xor", rel_a, rel_c, ("milk",), 2)

@@ -1,0 +1,228 @@
+"""Tests for the workload generators, overlap metric and dataset stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DuplicateFactError, TPRelation
+from repro.datasets import (
+    TABLE_III_CONFIGS,
+    MeteoConfig,
+    SyntheticSpec,
+    WebkitConfig,
+    dataset_stats,
+    fact_overlap_counts,
+    generate_calibrated_pair,
+    generate_meteo,
+    generate_pair,
+    generate_relation,
+    generate_webkit,
+    overlapping_factor,
+    render_stats_table,
+    shifted_counterpart,
+)
+from repro.datasets.meteo import STEP_SECONDS
+from repro.semantics import check_duplicate_free
+
+
+class TestSyntheticGenerator:
+    def test_size_and_facts(self):
+        r = generate_relation("r", SyntheticSpec(n_tuples=100, n_facts=7, seed=1))
+        assert len(r) == 100
+        assert len(r.facts()) == 7
+
+    def test_duplicate_free(self):
+        r = generate_relation("r", SyntheticSpec(n_tuples=500, n_facts=3, seed=2))
+        assert check_duplicate_free(r) == []
+
+    def test_deterministic_by_seed(self):
+        spec = SyntheticSpec(n_tuples=50, seed=9)
+        assert generate_relation("r", spec).contents() == generate_relation(
+            "r", spec
+        ).contents()
+
+    def test_different_seeds_differ(self):
+        r1 = generate_relation("r", SyntheticSpec(n_tuples=50, seed=1))
+        r2 = generate_relation("r", SyntheticSpec(n_tuples=50, seed=2))
+        assert r1.contents() != r2.contents()
+
+    def test_interval_length_bounds(self):
+        spec = SyntheticSpec(n_tuples=200, max_interval_length=4, seed=3)
+        r = generate_relation("r", spec)
+        assert all(1 <= t.end - t.start <= 4 for t in r)
+
+    def test_fact_regions_disjoint(self):
+        r = generate_relation("r", SyntheticSpec(n_tuples=60, n_facts=3, seed=4))
+        spans = {}
+        for t in r:
+            lo, hi = spans.get(t.fact, (t.start, t.end))
+            spans[t.fact] = (min(lo, t.start), max(hi, t.end))
+        ordered = sorted(spans.values())
+        for (_, hi), (lo, _) in zip(ordered, ordered[1:]):
+            assert hi <= lo
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_tuples=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_tuples=5, n_facts=6)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_tuples=5, max_interval_length=0)
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_tuples=5, max_gap=-1)
+
+    def test_pair_shares_region_layout(self):
+        r, s = generate_pair(300, n_facts=3, seed=5)
+        assert r.facts() == s.facts()
+        assert overlapping_factor(r, s) > 0
+
+    def test_table3_configs_monotone_stress(self):
+        """Higher nominal OF configs must realize higher measured OF."""
+        measured = []
+        for nominal in sorted(TABLE_III_CONFIGS):
+            r, s = generate_pair(3000, seed=6, **TABLE_III_CONFIGS[nominal])
+            measured.append(overlapping_factor(r, s))
+        assert measured == sorted(measured)
+
+
+class TestCalibratedPair:
+    @pytest.mark.parametrize("target", [0.03, 0.1, 0.4, 0.6, 0.8])
+    def test_hits_target(self, target):
+        r, s = generate_calibrated_pair(4000, target, seed=8)
+        assert overlapping_factor(r, s) == pytest.approx(target, abs=0.05)
+
+    def test_duplicate_free(self):
+        r, s = generate_calibrated_pair(1000, 0.5, seed=8)
+        assert check_duplicate_free(r) == []
+        assert check_duplicate_free(s) == []
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            generate_calibrated_pair(10, 1.5)
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError):
+            generate_calibrated_pair(10, 0.5, max_gap=1)
+
+
+class TestOverlapMetric:
+    def test_exact_match_is_one(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 5, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 1, 5, 0.5)])
+        assert overlapping_factor(r, s) == 1.0
+
+    def test_disjoint_is_zero(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 1, 5, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 7, 9, 0.5)])
+        assert overlapping_factor(r, s) == 0.0
+
+    def test_empty_inputs(self):
+        empty = TPRelation.from_rows("r", ("x",), [])
+        assert overlapping_factor(empty, empty) == 0.0
+
+    def test_half_overlap_hand_computed(self):
+        # Timeline: [0,2) r only, [2,4) both, [4,6) s only → 1/3.
+        r = TPRelation.from_rows("r", ("x",), [("f", 0, 4, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 2, 6, 0.5)])
+        assert overlapping_factor(r, s) == pytest.approx(1 / 3)
+
+    def test_per_fact_counts(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 0, 4, 0.5), ("g", 0, 2, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("f", 2, 6, 0.5)])
+        counts = fact_overlap_counts(r, s)
+        assert counts[("f",)] == (1, 3)
+        assert counts[("g",)] == (0, 1)
+
+
+class TestMeteo:
+    def test_shape(self):
+        meteo = generate_meteo(config=MeteoConfig(4000, seed=1))
+        stats = dataset_stats(meteo)
+        assert stats.cardinality == 4000
+        assert stats.n_facts == 80
+        assert stats.min_duration >= STEP_SECONDS
+        assert stats.min_duration % STEP_SECONDS == 0
+        assert check_duplicate_free(meteo) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MeteoConfig(10, n_stations=80)
+        with pytest.raises(ValueError):
+            MeteoConfig(1000, persistence=1.0)
+
+    def test_deterministic(self):
+        a = generate_meteo(config=MeteoConfig(500, seed=3))
+        b = generate_meteo(config=MeteoConfig(500, seed=3))
+        assert a.contents() == b.contents()
+
+
+class TestWebkit:
+    def test_shape(self):
+        webkit = generate_webkit(config=WebkitConfig(4000, seed=1))
+        stats = dataset_stats(webkit)
+        # Many facts, few revisions per file, bursty boundaries.
+        assert stats.n_facts > 1000
+        assert stats.max_boundary_burst > 100
+        assert check_duplicate_free(webkit) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WebkitConfig(0)
+        with pytest.raises(ValueError):
+            WebkitConfig(10, revisions_per_file=0)
+        with pytest.raises(ValueError):
+            WebkitConfig(10, initial_import_fraction=0.0)
+
+    def test_initial_import_burst(self):
+        webkit = generate_webkit(config=WebkitConfig(3000, seed=2))
+        starts_at_zero = sum(1 for t in webkit if t.start == 0)
+        assert starts_at_zero > 0.3 * len(webkit.facts())
+
+
+class TestShiftedCounterpart:
+    def test_durations_preserved(self, rel_a):
+        shifted = shifted_counterpart(rel_a, seed=5)
+        original = sorted(t.end - t.start for t in rel_a)
+        new = sorted(t.end - t.start for t in shifted)
+        assert original == new
+
+    def test_duplicate_free(self):
+        meteo = generate_meteo(config=MeteoConfig(2000, seed=4))
+        shifted = shifted_counterpart(meteo, seed=6)
+        assert check_duplicate_free(shifted) == []
+        assert len(shifted) == len(meteo)
+
+    def test_empty(self):
+        empty = TPRelation.from_rows("r", ("x",), [])
+        assert len(shifted_counterpart(empty)) == 0
+
+    def test_name(self, rel_a):
+        assert shifted_counterpart(rel_a).name == "a_shifted"
+        assert shifted_counterpart(rel_a, name="a2").name == "a2"
+
+
+class TestDatasetStats:
+    def test_hand_computed(self):
+        r = TPRelation.from_rows(
+            "r", ("x",), [("f", 0, 4, 0.5), ("f", 6, 8, 0.5), ("g", 2, 5, 0.5)]
+        )
+        stats = dataset_stats(r)
+        assert stats.cardinality == 3
+        assert stats.time_range == 8
+        assert stats.min_duration == 2
+        assert stats.max_duration == 4
+        assert stats.avg_duration == pytest.approx(3.0)
+        assert stats.n_facts == 2
+        assert stats.distinct_points == 6
+        assert stats.max_tuples_per_point == 2  # t ∈ [2,4): f and g
+        assert stats.avg_tuples_per_point == pytest.approx(9 / 8)
+        assert stats.max_boundary_burst == 1
+
+    def test_empty(self):
+        empty = TPRelation.from_rows("r", ("x",), [])
+        assert dataset_stats(empty).cardinality == 0
+
+    def test_render(self):
+        r = TPRelation.from_rows("r", ("x",), [("f", 0, 4, 0.5)])
+        text = render_stats_table(dataset_stats(r))
+        assert "Cardinality" in text and "r" in text

@@ -1,0 +1,181 @@
+"""Unit and property tests for the interval algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import AllenRelation, Interval, InvalidIntervalError, allen_relation
+from repro.core.interval import OVERLAP_RELATIONS, span
+
+
+def make_interval(a: int, b: int) -> Interval:
+    return Interval(min(a, b), max(a, b)) if a != b else Interval(a, a + 1)
+
+
+interval_strategy = st.builds(
+    make_interval,
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=-50, max_value=50),
+)
+
+
+class TestConstruction:
+    def test_valid(self):
+        iv = Interval(2, 10)
+        assert iv.start == 2
+        assert iv.end == 10
+        assert iv.duration == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3, 3)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 2)
+
+    def test_str(self):
+        assert str(Interval(2, 10)) == "[2,10)"
+
+    def test_ordering_by_start_then_end(self):
+        assert Interval(1, 5) < Interval(2, 3)
+        assert Interval(1, 3) < Interval(1, 5)
+
+    def test_hashable_and_equal(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert len({Interval(1, 2), Interval(1, 2), Interval(1, 3)}) == 2
+
+
+class TestPredicates:
+    def test_contains_point_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains_point(2)
+        assert iv.contains_point(4)
+        assert not iv.contains_point(5)
+        assert not iv.contains_point(1)
+
+    def test_overlaps(self):
+        assert Interval(1, 5).overlaps(Interval(4, 9))
+        assert not Interval(1, 5).overlaps(Interval(5, 9))  # half-open touch
+        assert not Interval(1, 5).overlaps(Interval(7, 9))
+
+    def test_contains(self):
+        assert Interval(1, 10).contains(Interval(3, 4))
+        assert Interval(1, 10).contains(Interval(1, 10))
+        assert not Interval(1, 10).contains(Interval(0, 4))
+
+    def test_meets(self):
+        assert Interval(1, 5).meets(Interval(5, 7))
+        assert not Interval(1, 5).meets(Interval(6, 7))
+
+    def test_adjacent_or_overlapping(self):
+        assert Interval(1, 5).adjacent_or_overlapping(Interval(5, 7))
+        assert Interval(5, 7).adjacent_or_overlapping(Interval(1, 5))
+        assert not Interval(1, 5).adjacent_or_overlapping(Interval(6, 7))
+
+
+class TestConstructive:
+    def test_intersect(self):
+        assert Interval(2, 10).intersect(Interval(5, 12)) == Interval(5, 10)
+        assert Interval(2, 5).intersect(Interval(5, 8)) is None
+
+    def test_union(self):
+        assert Interval(1, 5).union(Interval(5, 9)) == Interval(1, 9)
+        with pytest.raises(InvalidIntervalError):
+            Interval(1, 5).union(Interval(6, 9))
+
+    def test_minus_middle(self):
+        assert Interval(1, 10).minus(Interval(4, 6)) == (
+            Interval(1, 4),
+            Interval(6, 10),
+        )
+
+    def test_minus_disjoint(self):
+        assert Interval(1, 5).minus(Interval(7, 9)) == (Interval(1, 5),)
+
+    def test_minus_covering(self):
+        assert Interval(3, 4).minus(Interval(1, 10)) == ()
+
+    def test_split_at(self):
+        assert Interval(1, 10).split_at(4) == (Interval(1, 4), Interval(4, 10))
+        assert Interval(1, 10).split_at(1) == (Interval(1, 10),)
+        assert Interval(1, 10).split_at(10) == (Interval(1, 10),)
+
+    def test_shift(self):
+        assert Interval(1, 4).shift(10) == Interval(11, 14)
+
+    def test_points(self):
+        assert list(Interval(3, 6).points()) == [3, 4, 5]
+
+    def test_span(self):
+        assert span([Interval(5, 7), Interval(1, 3)]) == Interval(1, 7)
+        assert span([]) is None
+
+
+class TestAllen:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ((1, 3), (5, 7), AllenRelation.BEFORE),
+            ((1, 3), (3, 7), AllenRelation.MEETS),
+            ((1, 5), (3, 7), AllenRelation.OVERLAPS),
+            ((1, 3), (1, 7), AllenRelation.STARTS),
+            ((2, 5), (1, 7), AllenRelation.DURING),
+            ((4, 7), (1, 7), AllenRelation.FINISHES),
+            ((1, 7), (1, 7), AllenRelation.EQUAL),
+            ((5, 7), (1, 3), AllenRelation.AFTER),
+            ((3, 7), (1, 3), AllenRelation.MET_BY),
+            ((3, 7), (1, 5), AllenRelation.OVERLAPPED_BY),
+            ((1, 7), (1, 3), AllenRelation.STARTED_BY),
+            ((1, 7), (2, 5), AllenRelation.CONTAINS),
+            ((1, 7), (4, 7), AllenRelation.FINISHED_BY),
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        assert allen_relation(Interval(*a), Interval(*b)) is expected
+
+    @given(interval_strategy, interval_strategy)
+    def test_exactly_one_relation(self, a, b):
+        relation = allen_relation(a, b)
+        assert isinstance(relation, AllenRelation)
+
+    @given(interval_strategy, interval_strategy)
+    def test_overlap_relations_match_predicate(self, a, b):
+        relation = allen_relation(a, b)
+        assert (relation in OVERLAP_RELATIONS) == a.overlaps(b)
+
+    @given(interval_strategy, interval_strategy)
+    def test_inverse_symmetry(self, a, b):
+        inverse = {
+            AllenRelation.BEFORE: AllenRelation.AFTER,
+            AllenRelation.MEETS: AllenRelation.MET_BY,
+            AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+            AllenRelation.STARTS: AllenRelation.STARTED_BY,
+            AllenRelation.DURING: AllenRelation.CONTAINS,
+            AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+            AllenRelation.EQUAL: AllenRelation.EQUAL,
+        }
+        full_inverse = dict(inverse)
+        full_inverse.update({v: k for k, v in inverse.items()})
+        assert allen_relation(b, a) is full_inverse[allen_relation(a, b)]
+
+    @given(interval_strategy, interval_strategy)
+    def test_intersect_consistent_with_overlaps(self, a, b):
+        overlap = a.intersect(b)
+        assert (overlap is not None) == a.overlaps(b)
+        if overlap is not None:
+            assert a.contains(overlap)
+            assert b.contains(overlap)
+
+    @given(interval_strategy, interval_strategy)
+    def test_minus_partitions(self, a, b):
+        pieces = a.minus(b)
+        total = sum(piece.duration for piece in pieces)
+        overlap = a.intersect(b)
+        overlap_len = overlap.duration if overlap else 0
+        assert total == a.duration - overlap_len
+        for piece in pieces:
+            assert a.contains(piece)
+            assert not piece.overlaps(b)

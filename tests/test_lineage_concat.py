@@ -1,0 +1,72 @@
+"""Tests for the Table-I lineage-concatenation functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lineage import (
+    CONCAT_BY_NAME,
+    Var,
+    concat_and,
+    concat_and_not,
+    concat_or,
+    land,
+    lnot,
+    lor,
+)
+
+l1, l2 = Var("r1"), Var("s1")
+
+
+class TestAnd:
+    def test_both_present(self):
+        assert concat_and(l1, l2) == land(l1, l2)
+
+    def test_null_left_rejected(self):
+        with pytest.raises(ValueError):
+            concat_and(None, l2)
+
+    def test_null_right_rejected(self):
+        with pytest.raises(ValueError):
+            concat_and(l1, None)
+
+
+class TestAndNot:
+    def test_right_null_passthrough(self):
+        # andNot(λ1, null) = (λ1) — Table I, first case.
+        assert concat_and_not(l1, None) is l1
+
+    def test_right_present(self):
+        # andNot(λ1, λ2) = (λ1) ∧ ¬(λ2).
+        assert concat_and_not(l1, l2) == land(l1, lnot(l2))
+
+    def test_null_left_rejected(self):
+        with pytest.raises(ValueError):
+            concat_and_not(None, l2)
+
+    def test_compound_right_parenthesized(self):
+        compound = lor(Var("a1"), Var("b1"))
+        assert str(concat_and_not(Var("c2"), compound)) == "c2∧¬(a1∨b1)"
+
+
+class TestOr:
+    def test_right_null(self):
+        assert concat_or(l1, None) is l1
+
+    def test_left_null(self):
+        assert concat_or(None, l2) is l2
+
+    def test_both_present(self):
+        assert concat_or(l1, l2) == lor(l1, l2)
+
+    def test_both_null_rejected(self):
+        with pytest.raises(ValueError):
+            concat_or(None, None)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(CONCAT_BY_NAME) == {"and", "andNot", "or"}
+
+    def test_dispatch(self):
+        assert CONCAT_BY_NAME["andNot"](l1, l2) == concat_and_not(l1, l2)

@@ -1,0 +1,47 @@
+"""Tests for one-occurrence-form detection."""
+
+from __future__ import annotations
+
+from repro.lineage import (
+    FALSE,
+    TRUE,
+    Var,
+    check_one_occurrence_form,
+    is_one_occurrence_form,
+    land,
+    lnot,
+    lor,
+)
+
+a, b, c = Var("a"), Var("b"), Var("c")
+
+
+class TestIsOneOccurrenceForm:
+    def test_atomic(self):
+        assert is_one_occurrence_form(a)
+
+    def test_distinct_variables(self):
+        assert is_one_occurrence_form(a & ~(b | c))
+
+    def test_repeated_variable(self):
+        assert not is_one_occurrence_form((a & b) | (a & c))
+
+    def test_repetition_under_negation(self):
+        assert not is_one_occurrence_form(a & ~a)
+
+    def test_constants(self):
+        assert is_one_occurrence_form(TRUE)
+        assert is_one_occurrence_form(FALSE)
+
+    def test_deeply_nested(self):
+        formula = lor(land(a, lnot(b)), c)
+        assert is_one_occurrence_form(formula)
+
+
+class TestCheckOneOccurrenceForm:
+    def test_reports_repeats_sorted(self):
+        formula = land(lor(a, b), lor(a, c), b)
+        assert check_one_occurrence_form(formula) == ["a", "b"]
+
+    def test_empty_for_1of(self):
+        assert check_one_occurrence_form(a & b) == []

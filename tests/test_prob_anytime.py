@@ -1,0 +1,90 @@
+"""Tests for the anytime probability approximation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lineage import Var, land, lnot, lor
+from repro.prob import probability_anytime, probability_shannon
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+PROBS = {"a": 0.3, "b": 0.6, "c": 0.5, "d": 0.8}
+
+
+@st.composite
+def formulas(draw, depth: int = 3):
+    pool = st.sampled_from([a, b, c, d])
+    if depth == 0:
+        return draw(pool)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(pool)
+    if kind == 1:
+        return lnot(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return land(left, right) if kind == 2 else lor(left, right)
+
+
+class TestAnytime:
+    def test_1of_is_immediately_exact(self):
+        result = probability_anytime(a & ~b, PROBS)
+        assert result.exact
+        assert result.expansions == 0
+        assert result.low == result.high == pytest.approx(0.3 * 0.4)
+
+    def test_converges_to_exact(self):
+        formula = (a & b) | (a & c) | (~a & d)
+        result = probability_anytime(formula, PROBS, epsilon=0.0)
+        exact = probability_shannon(formula, PROBS)
+        assert result.exact
+        assert result.low == pytest.approx(exact)
+        assert result.high == pytest.approx(exact)
+
+    def test_budget_limits_expansions(self):
+        formula = (a & b) | (a & c) | (b & d) | (c & d)
+        result = probability_anytime(
+            formula, PROBS, epsilon=0.0, max_expansions=1
+        )
+        assert result.expansions <= 1
+        exact = probability_shannon(formula, PROBS)
+        assert result.low - 1e-12 <= exact <= result.high + 1e-12
+
+    @given(formulas())
+    def test_bounds_always_sound(self, formula):
+        exact = probability_shannon(formula, PROBS)
+        for budget in (0, 1, 3, 100):
+            result = probability_anytime(
+                formula, PROBS, epsilon=0.0, max_expansions=budget
+            )
+            assert result.low - 1e-9 <= exact <= result.high + 1e-9
+            assert result.gap >= -1e-12
+
+    @given(formulas())
+    def test_bounds_tighten_monotonically(self, formula):
+        widths = []
+        for budget in (0, 1, 2, 4, 8):
+            result = probability_anytime(
+                formula, PROBS, epsilon=0.0, max_expansions=budget
+            )
+            widths.append(result.gap)
+        for earlier, later in zip(widths, widths[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_epsilon_early_stop(self):
+        formula = (a & b) | (a & c) | (b & d)
+        loose = probability_anytime(formula, PROBS, epsilon=0.5)
+        tight = probability_anytime(formula, PROBS, epsilon=1e-9)
+        assert loose.expansions <= tight.expansions
+        assert tight.gap <= 1e-9
+
+    def test_midpoint_within_bounds(self):
+        formula = (a & b) | (c & d) | (a & d)
+        result = probability_anytime(formula, PROBS, max_expansions=2, epsilon=0.0)
+        assert result.low <= result.midpoint <= result.high
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            probability_anytime(a, PROBS, epsilon=-1.0)

@@ -1,0 +1,136 @@
+"""Tests for the block-independent-disjoint (x-tuple) event model."""
+
+from __future__ import annotations
+
+from itertools import product as cartesian
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import ValuationError
+from repro.lineage import Var, evaluate, land, lnot, lor, variables
+from repro.prob import BlockEventSpace, probability_bid, probability_shannon
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+PROBS = {"a": 0.3, "b": 0.4, "c": 0.5, "d": 0.2}
+
+
+def brute_force_bid(formula, space: BlockEventSpace) -> float:
+    """Enumerate BID worlds: per block one alternative or none; the rest
+    of the variables are independent booleans."""
+    block_vars = {m for members in space.blocks.values() for m in members}
+    free = sorted(set(space.probabilities) - block_vars)
+    blocks = list(space.blocks.items())
+
+    total = 0.0
+    choices_per_block = [list(members) + [None] for _, members in blocks]
+    for picks in cartesian(*choices_per_block) if blocks else [()]:
+        block_weight = 1.0
+        assignment = {}
+        for (name, members), pick in zip(blocks, picks):
+            for member in members:
+                assignment[member] = member == pick
+            if pick is None:
+                block_weight *= space.none_probability(name)
+            else:
+                block_weight *= space.probabilities[pick]
+        for bits in cartesian((False, True), repeat=len(free)):
+            weight = block_weight
+            for var, bit in zip(free, bits):
+                weight *= space.probabilities[var] if bit else 1 - space.probabilities[var]
+            env = dict(assignment)
+            env.update(zip(free, bits))
+            env = {v: env.get(v, False) for v in variables(formula) | set(env)}
+            if evaluate(formula, env):
+                total += weight
+    return total
+
+
+class TestBlockEventSpace:
+    def test_empty_blocks_reduce_to_independence(self):
+        space = BlockEventSpace(PROBS)
+        formula = (a & b) | c
+        assert probability_bid(formula, space) == pytest.approx(
+            probability_shannon(formula, PROBS)
+        )
+
+    def test_block_overweight_rejected(self):
+        with pytest.raises(ValuationError):
+            BlockEventSpace({"a": 0.7, "b": 0.6}, {"x": ("a", "b")})
+
+    def test_double_membership_rejected(self):
+        with pytest.raises(ValuationError):
+            BlockEventSpace(PROBS, {"x": ("a", "b"), "y": ("a",)})
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ValuationError):
+            BlockEventSpace({"a": 0.5}, {"x": ("a", "ghost")})
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValuationError):
+            BlockEventSpace(PROBS, {"x": ()})
+
+    def test_none_probability(self):
+        space = BlockEventSpace(PROBS, {"x": ("a", "b")})
+        assert space.none_probability("x") == pytest.approx(0.3)
+
+    def test_block_of(self):
+        space = BlockEventSpace(PROBS, {"x": ("a", "b")})
+        assert space.block_of("a") == "x"
+        assert space.block_of("c") is None
+
+
+class TestProbabilityBid:
+    def test_mutual_exclusion_conjunction_is_zero(self):
+        space = BlockEventSpace(PROBS, {"x": ("a", "b")})
+        assert probability_bid(a & b, space) == pytest.approx(0.0)
+
+    def test_disjunction_adds_up(self):
+        space = BlockEventSpace(PROBS, {"x": ("a", "b")})
+        assert probability_bid(a | b, space) == pytest.approx(0.7)
+
+    def test_unknown_variable(self):
+        space = BlockEventSpace(PROBS)
+        with pytest.raises(ValuationError):
+            probability_bid(Var("ghost"), space)
+
+    def test_negated_alternative(self):
+        space = BlockEventSpace(PROBS, {"x": ("a", "b")})
+        # ¬a holds when b is chosen (0.4) or nothing is chosen (0.3).
+        assert probability_bid(lnot(a), space) == pytest.approx(0.7)
+
+    def test_cross_block_independence(self):
+        space = BlockEventSpace(PROBS, {"x": ("a", "b"), "y": ("c", "d")})
+        assert probability_bid(a & c, space) == pytest.approx(0.3 * 0.5)
+
+    @given(
+        st.booleans(),
+        st.integers(0, 3),
+    )
+    def test_small_cases_match_brute_force(self, two_blocks, shape):
+        blocks = {"x": ("a", "b")}
+        if two_blocks:
+            blocks["y"] = ("c", "d")
+        space = BlockEventSpace(PROBS, blocks)
+        formula = [
+            (a & c) | (b & d),
+            lor(a, land(b, c)),
+            land(lnot(a), lor(b, d)),
+            lor(land(a, d), land(lnot(b), c)),
+        ][shape]
+        assert probability_bid(formula, space) == pytest.approx(
+            brute_force_bid(formula, space)
+        )
+
+    def test_sensor_xtuple_scenario(self):
+        """An RFID tag is in zone A xor zone B; a second reading is
+        independent.  P(consistent sighting) via lineage."""
+        space = BlockEventSpace(
+            {"inA": 0.6, "inB": 0.3, "read2": 0.8},
+            {"tagPosition": ("inA", "inB")},
+        )
+        formula = land(Var("inA"), Var("read2"))
+        assert probability_bid(formula, space) == pytest.approx(0.6 * 0.8)
+        contradictory = land(Var("inA"), Var("inB"))
+        assert probability_bid(contradictory, space) == pytest.approx(0.0)

@@ -1,0 +1,155 @@
+"""Tests for the exact probability valuations (1OF, Shannon, BDD).
+
+Ground truth is brute-force enumeration over all truth assignments, so
+every exact method is checked against the same oracle, and the paper's
+worked probabilities (Fig. 1c, Fig. 3) are pinned explicitly.
+"""
+
+from __future__ import annotations
+
+from itertools import product as cartesian
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import (
+    UnknownVariableError,
+    ValuationError,
+    probability_1of,
+    probability_bdd,
+    probability_shannon,
+)
+from repro.lineage import Var, evaluate, land, lnot, lor, variables
+from repro.prob import BddManager, equivalent
+
+a, b, c, d = Var("a"), Var("b"), Var("c"), Var("d")
+
+
+def brute_force(formula, probs):
+    names = sorted(variables(formula))
+    total = 0.0
+    for bits in cartesian((False, True), repeat=len(names)):
+        env = dict(zip(names, bits))
+        if evaluate(formula, env):
+            weight = 1.0
+            for name, bit in env.items():
+                weight *= probs[name] if bit else 1.0 - probs[name]
+            total += weight
+    return total
+
+
+@st.composite
+def formulas(draw, depth: int = 3):
+    pool = st.sampled_from([a, b, c, d])
+    if depth == 0:
+        return draw(pool)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(pool)
+    if kind == 1:
+        return lnot(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return land(left, right) if kind == 2 else lor(left, right)
+
+
+probs_strategy = st.fixed_dictionaries(
+    {
+        name: st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+        for name in ("a", "b", "c", "d")
+    }
+)
+
+
+class TestPaperValues:
+    """The marginal probabilities the paper reports for Fig. 1/3."""
+
+    def test_fig1_c1_and_not_a1(self):
+        formula = Var("c1") & ~Var("a1")
+        assert probability_1of(formula, {"c1": 0.6, "a1": 0.3}) == pytest.approx(0.42)
+
+    def test_fig1_c2_and_not_a1_or_b1(self):
+        formula = Var("c2") & ~(Var("a1") | Var("b1"))
+        p = probability_1of(formula, {"c2": 0.7, "a1": 0.3, "b1": 0.6})
+        assert p == pytest.approx(0.196)
+
+    def test_fig1_c3_and_not_a2_or_b2(self):
+        formula = Var("c3") & ~(Var("a2") | Var("b2"))
+        p = probability_1of(formula, {"c3": 0.7, "a2": 0.8, "b2": 0.9})
+        assert p == pytest.approx(0.014)
+
+    def test_fig3_union(self):
+        formula = Var("a1") | Var("c1")
+        assert probability_1of(formula, {"a1": 0.3, "c1": 0.6}) == pytest.approx(0.72)
+
+    def test_fig3_intersection(self):
+        formula = Var("a2") & Var("c3")
+        assert probability_1of(formula, {"a2": 0.8, "c3": 0.7}) == pytest.approx(0.56)
+
+
+class TestOneOccurrence:
+    def test_rejects_non_1of(self):
+        with pytest.raises(ValuationError):
+            probability_1of(a & ~a, {"a": 0.5})
+
+    def test_unknown_variable(self):
+        with pytest.raises(UnknownVariableError):
+            probability_1of(a & b, {"a": 0.5})
+
+    @given(formulas(), probs_strategy)
+    def test_matches_brute_force_when_1of(self, formula, probs):
+        from repro.lineage import is_one_occurrence_form
+
+        if is_one_occurrence_form(formula):
+            assert probability_1of(formula, probs) == pytest.approx(
+                brute_force(formula, probs)
+            )
+
+
+class TestShannon:
+    @given(formulas(), probs_strategy)
+    def test_matches_brute_force(self, formula, probs):
+        assert probability_shannon(formula, probs) == pytest.approx(
+            brute_force(formula, probs)
+        )
+
+    def test_repeated_variable_exact(self):
+        # P(a ∨ (a ∧ b)) = P(a), the absorption the 1OF path would get wrong.
+        formula = a | (a & b)
+        assert probability_shannon(formula, {"a": 0.3, "b": 0.9}) == pytest.approx(0.3)
+
+    def test_contradiction(self):
+        assert probability_shannon(a & ~a, {"a": 0.7}) == pytest.approx(0.0)
+
+    def test_tautology(self):
+        assert probability_shannon(a | ~a, {"a": 0.7}) == pytest.approx(1.0)
+
+
+class TestBdd:
+    @given(formulas(), probs_strategy)
+    def test_matches_brute_force(self, formula, probs):
+        assert probability_bdd(formula, probs) == pytest.approx(
+            brute_force(formula, probs)
+        )
+
+    @given(formulas(), formulas())
+    def test_equivalence_decision(self, f, g):
+        """BDD equivalence agrees with truth-table equivalence."""
+        names = sorted(variables(f) | variables(g))
+        truth_equal = all(
+            evaluate(f, dict(zip(names, bits))) == evaluate(g, dict(zip(names, bits)))
+            for bits in cartesian((False, True), repeat=len(names))
+        )
+        assert equivalent(f, g) == truth_equal
+
+    def test_canonical_roots_shared(self):
+        manager = BddManager()
+        root1 = manager.build((a & b) | (a & c))
+        root2 = manager.build(a & (b | c))
+        assert root1 is root2
+
+    def test_node_count_reduced(self):
+        manager = BddManager(order=["a", "b"])
+        root = manager.build((a & b) | (a & ~b))  # reduces to just `a`
+        assert manager.node_count(root) == 1

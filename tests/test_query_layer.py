@@ -1,0 +1,157 @@
+"""Tests for the query layer: parser, analysis, planner, executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryParseError, UnknownRelationError, UnsupportedOperationError
+from repro.query import (
+    RelationRef,
+    SetOpNode,
+    analyze,
+    execute_plan,
+    is_non_repeating,
+    parse_query,
+    plan_query,
+    relation_references,
+)
+from repro.query.planner import ScanPlan, SetOpPlan
+
+
+class TestParser:
+    def test_keywords(self):
+        ast = parse_query("c EXCEPT (a UNION b)")
+        assert ast == SetOpNode(
+            "except",
+            RelationRef("c"),
+            SetOpNode("union", RelationRef("a"), RelationRef("b")),
+        )
+
+    def test_symbols(self):
+        assert parse_query("c − (a ∪ b)") == parse_query("c EXCEPT (a UNION b)")
+        assert parse_query("c - (a | b)") == parse_query("c EXCEPT (a UNION b)")
+        assert parse_query("a ∩ b") == parse_query("a INTERSECT b")
+        assert parse_query("a & b") == parse_query("a intersect b")
+
+    def test_intersect_binds_tighter(self):
+        ast = parse_query("a union b intersect c")
+        assert ast == SetOpNode(
+            "union",
+            RelationRef("a"),
+            SetOpNode("intersect", RelationRef("b"), RelationRef("c")),
+        )
+
+    def test_left_associative_union_except(self):
+        ast = parse_query("a union b except c")
+        assert ast == SetOpNode(
+            "except",
+            SetOpNode("union", RelationRef("a"), RelationRef("b")),
+            RelationRef("c"),
+        )
+
+    def test_single_relation(self):
+        assert parse_query("products") == RelationRef("products")
+
+    def test_dotted_names(self):
+        assert parse_query("db.products") == RelationRef("db.products")
+
+    @pytest.mark.parametrize(
+        "text", ["", "a union", "union a", "(a", "a)", "a ? b", "a b"]
+    )
+    def test_rejects_bad_syntax(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    def test_str_round_trip(self):
+        ast = parse_query("c - (a | b)")
+        assert parse_query(str(ast)) == ast
+
+
+class TestAnalysis:
+    def test_non_repeating(self):
+        assert is_non_repeating(parse_query("c - (a | b)"))
+        assert not is_non_repeating(parse_query("(r1 | r2) - (r1 & r3)"))
+
+    def test_relation_references_with_multiplicity(self):
+        ast = parse_query("(r1 | r2) - (r1 & r3)")
+        assert relation_references(ast) == ["r1", "r2", "r1", "r3"]
+
+    def test_analysis_ptime(self):
+        report = analyze(parse_query("c - (a | b)"))
+        assert report.non_repeating
+        assert report.repeated_relations == ()
+        assert "PTIME" in report.complexity
+        assert report.operation_count == 2
+        assert report.operations == {"except": 1, "union": 1}
+        assert report.depth == 2
+
+    def test_analysis_hard(self):
+        # The paper's own #P-hard example: (r1 ∪ r2) − (r1 ∩ r3).
+        report = analyze(parse_query("(r1 | r2) - (r1 & r3)"))
+        assert not report.non_repeating
+        assert report.repeated_relations == ("r1",)
+        assert "#P-hard" in report.complexity
+
+    def test_describe(self):
+        text = analyze(parse_query("c - (a | b)")).describe()
+        assert "relations: c, a, b" in text
+        assert "complexity" in text
+
+    def test_single_relation_analysis(self):
+        report = analyze(parse_query("a"))
+        assert report.operation_count == 0
+        assert report.depth == 0
+
+
+class TestPlanner:
+    def test_default_lawa(self):
+        plan = plan_query(parse_query("a - b"))
+        assert isinstance(plan, SetOpPlan)
+        assert plan.algorithm.name == "LAWA"
+        assert plan.left == ScanPlan("a")
+
+    def test_algorithm_by_name(self):
+        plan = plan_query(parse_query("a & b"), algorithm="TI")
+        assert plan.algorithm.name == "TI"
+
+    def test_capability_enforced_at_plan_time(self):
+        with pytest.raises(UnsupportedOperationError):
+            plan_query(parse_query("a - b"), algorithm="TPDB")
+
+    def test_per_op_overrides(self):
+        plan = plan_query(
+            parse_query("(a & b) - c"), per_op_algorithms={"intersect": "OIP"}
+        )
+        assert plan.algorithm.name == "LAWA"
+        assert plan.left.algorithm.name == "OIP"
+
+    def test_describe_tree(self):
+        text = plan_query(parse_query("c - (a | b)")).describe()
+        assert "Except[LAWA]" in text
+        assert "Scan[c]" in text
+
+
+class TestExecutor:
+    def test_paper_query(self, rel_a, rel_b, rel_c):
+        plan = plan_query(parse_query("c - (a | b)"))
+        catalog = {"a": rel_a, "b": rel_b, "c": rel_c}
+        result = execute_plan(plan, catalog)
+        rows = {(t.fact, str(t.lineage), t.start, t.end, round(t.p, 6)) for t in result}
+        assert (("milk",), "c2∧¬(a1∨b1)", 6, 8, 0.196) in rows
+        assert len(rows) == 5
+
+    def test_unknown_relation(self, rel_a):
+        plan = plan_query(parse_query("a | ghost"))
+        with pytest.raises(UnknownRelationError):
+            execute_plan(plan, {"a": rel_a})
+
+    def test_intermediates_not_materialized(self, rel_a, rel_b, rel_c):
+        """Only the root result carries probabilities."""
+        plan = plan_query(parse_query("c - (a | b)"))
+        catalog = {"a": rel_a, "b": rel_b, "c": rel_c}
+        deferred = execute_plan(plan, catalog, materialize=False)
+        assert all(t.p is None for t in deferred)
+
+    def test_scan_only_plan(self, rel_a):
+        result = execute_plan(plan_query(parse_query("a")), {"a": rel_a})
+        assert result.equivalent_to(rel_a)

@@ -1,0 +1,130 @@
+"""Tests for the query optimizer (flattening + difference fusion)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.db import TPDatabase
+from repro.query import (
+    MultiOpNode,
+    MultiSetOpPlan,
+    RelationRef,
+    SetOpNode,
+    optimize_query,
+    parse_query,
+    plan_query,
+)
+
+from .strategies import tp_relation
+
+
+class TestFlattening:
+    def test_union_chain_flattens(self):
+        node = optimize_query(parse_query("a | b | c | d"))
+        assert isinstance(node, MultiOpNode)
+        assert node.op == "union"
+        assert [str(c) for c in node.children] == ["a", "b", "c", "d"]
+
+    def test_intersect_chain_flattens(self):
+        node = optimize_query(parse_query("a & b & c"))
+        assert isinstance(node, MultiOpNode)
+        assert node.op == "intersect"
+
+    def test_mixed_ops_do_not_merge(self):
+        node = optimize_query(parse_query("(a | b) & (c | d)"))
+        assert isinstance(node, SetOpNode)
+        assert node.op == "intersect"
+        assert isinstance(node.left, RelationRef) is False
+
+    def test_binary_stays_binary(self):
+        node = optimize_query(parse_query("a | b"))
+        assert isinstance(node, SetOpNode)
+
+    def test_nested_parenthesized_chain(self):
+        node = optimize_query(parse_query("(a | (b | c)) | d"))
+        assert isinstance(node, MultiOpNode)
+        assert len(node.children) == 4
+
+    def test_difference_not_flattened(self):
+        node = optimize_query(parse_query("a - b - c"))
+        assert isinstance(node, SetOpNode)
+        assert node.op == "except"
+
+    def test_str_rendering(self):
+        assert str(optimize_query(parse_query("a | b | c"))) == "(a ∪ b ∪ c)"
+
+
+class TestDifferenceFusion:
+    def test_fusion(self):
+        node = optimize_query(parse_query("a - b - c"), aggressive=True)
+        assert str(node) == "(a − (b ∪ c))"
+
+    def test_long_chain_fuses_to_multiway_union(self):
+        node = optimize_query(parse_query("a - b - c - d"), aggressive=True)
+        assert str(node) == "(a − (b ∪ c ∪ d))"
+
+    def test_fusion_off_by_default(self):
+        node = optimize_query(parse_query("a - b - c"))
+        assert "∪" not in str(node)
+
+
+class TestPlanningAndExecution:
+    @pytest.fixture
+    def db(self):
+        db = TPDatabase()
+        db.create_relation("r1", ("x",), [("f", 0, 6, 0.5), ("g", 1, 4, 0.3)])
+        db.create_relation("r2", ("x",), [("f", 2, 8, 0.4)])
+        db.create_relation("r3", ("x",), [("f", 5, 9, 0.6), ("g", 2, 3, 0.9)])
+        db.create_relation("r4", ("x",), [("f", 0, 2, 0.2)])
+        return db
+
+    def test_multiway_plan_node(self):
+        plan = plan_query(optimize_query(parse_query("a | b | c")))
+        assert isinstance(plan, MultiSetOpPlan)
+        assert "MULTIWAY×3" in plan.describe()
+
+    def test_optimized_union_matches_unoptimized(self, db):
+        plain = db.query("r1 | r2 | r3 | r4")
+        optimized = db.query("r1 | r2 | r3 | r4", optimize=True)
+        assert optimized.equivalent_to(plain)  # lineage-identical
+
+    def test_optimized_intersection_matches(self, db):
+        plain = db.query("r1 & r2 & r3")
+        optimized = db.query("r1 & r2 & r3", optimize=True)
+        assert optimized.equivalent_to(plain)
+
+    def test_aggressive_difference_same_distribution(self, db):
+        plain = db.query("r1 - r2 - r3")
+        fused = db.query("r1 - r2 - r3", aggressive=True)
+        left = {(t.fact, p): t.p for t in plain for p in range(t.start, t.end)}
+        right = {(t.fact, p): t.p for t in fused for p in range(t.start, t.end)}
+        assert left.keys() == right.keys()
+        for key, value in left.items():
+            assert value == pytest.approx(right[key])
+
+    def test_explain_shows_multiway(self, db):
+        text = db.explain("r1 | r2 | r3", optimize=True)
+        assert "MULTIWAY×3" in text
+        assert "PTIME" in text  # analysis still reported on the original
+
+    def test_mixed_query_end_to_end(self, db):
+        plain = db.query("(r1 | r2 | r4) - r3")
+        optimized = db.query("(r1 | r2 | r4) - r3", optimize=True)
+        assert optimized.equivalent_to(plain)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        r1=tp_relation("y1", max_facts=2, max_intervals=3),
+        r2=tp_relation("y2", max_facts=2, max_intervals=3),
+        r3=tp_relation("y3", max_facts=2, max_intervals=3),
+    )
+    def test_property_optimized_equals_plain(self, r1, r2, r3):
+        db = TPDatabase()
+        db.register(r1.rename("r1"))
+        db.register(r2.rename("r2"))
+        db.register(r3.rename("r3"))
+        for query in ("r1 | r2 | r3", "r1 & r2 & r3", "(r1 | r2) & r3"):
+            plain = db.query(query)
+            optimized = db.query(query, optimize=True)
+            assert optimized.equivalent_to(plain), query

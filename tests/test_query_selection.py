@@ -1,0 +1,114 @@
+"""Tests for selection syntax in queries (the paper's Example 4 shape)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryParseError, tp_except
+from repro.db import TPDatabase
+from repro.query import (
+    RelationRef,
+    SelectionNode,
+    optimize_query,
+    parse_query,
+)
+
+
+@pytest.fixture
+def db(rel_a, rel_b, rel_c) -> TPDatabase:
+    database = TPDatabase()
+    for rel in (rel_a, rel_b, rel_c):
+        database.register(rel)
+    return database
+
+
+class TestParsing:
+    def test_basic_selection(self):
+        ast = parse_query("c[product='milk']")
+        assert ast == SelectionNode(RelationRef("c"), "product", "milk")
+
+    def test_selection_on_parenthesized_query(self):
+        ast = parse_query("(a | b)[product='milk']")
+        assert isinstance(ast, SelectionNode)
+        assert ast.attribute == "product"
+
+    def test_stacked_selections(self):
+        ast = parse_query("r[item='milk'][store='hb']")
+        assert isinstance(ast, SelectionNode)
+        assert ast.attribute == "store"
+        assert isinstance(ast.child, SelectionNode)
+
+    def test_numeric_values(self):
+        assert parse_query("r[qty=12]").value == 12
+        assert parse_query("r[price=2.5]").value == 2.5
+        assert parse_query("r[delta=-3]").value == -3
+
+    def test_bareword_value(self):
+        assert parse_query("r[station=zrh]").value == "zrh"
+
+    def test_str_round_trip_structure(self):
+        ast = parse_query("c[product='milk'] - a[product='milk']")
+        assert str(ast) == "(σ[product='milk'](c) − σ[product='milk'](a))"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["r[", "r[product]", "r[product=]", "r[product='milk'", "r[=5]", "r[1=2]"],
+    )
+    def test_bad_syntax(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+
+class TestExecution:
+    def test_example4_query(self, db, rel_a, rel_c):
+        """σF='milk'(c) −Tp σF='milk'(a) — the paper's Example 4."""
+        result = db.query("c[product='milk'] - a[product='milk']")
+        expected = tp_except(
+            rel_c.select(product="milk"), rel_a.select(product="milk")
+        )
+        assert result.equivalent_to(expected)
+        rows = {
+            (str(t.lineage), t.start, t.end, round(t.p, 6)) for t in result
+        }
+        assert rows == {
+            ("c1", 1, 2, 0.6),
+            ("c1∧¬a1", 2, 4, 0.42),
+            ("c2∧¬a1", 6, 8, 0.49),
+        }
+
+    def test_selection_after_set_op(self, db, rel_a, rel_c):
+        whole = db.query("(a | c)[product='chips']")
+        expected = db.query("a | c").select(product="chips")
+        assert whole.contents() == expected.contents()
+
+    def test_unknown_attribute_raises(self, db):
+        from repro import SchemaMismatchError
+
+        with pytest.raises(SchemaMismatchError):
+            db.query("a[color='red']")
+
+    def test_analysis_sees_through_selection(self, db):
+        analysis = db.analyze("c[product='milk'] - a[product='milk']")
+        assert analysis.non_repeating
+        assert analysis.relations == ("c", "a")
+
+
+class TestPushdown:
+    def test_selection_pushed_below_set_op(self):
+        node = optimize_query(parse_query("(a | b)[product='milk']"))
+        assert str(node) == "(σ[product='milk'](a) ∪ σ[product='milk'](b))"
+
+    def test_pushdown_through_multiway(self):
+        node = optimize_query(parse_query("(a | b | c)[x=1]"))
+        text = str(node)
+        assert text.count("σ[x=1]") == 3
+
+    def test_pushdown_preserves_results(self, db):
+        plain = db.query("(a | c)[product='milk']")
+        optimized = db.query("(a | c)[product='milk']", optimize=True)
+        assert optimized.contents() == plain.contents()
+
+    def test_explain_shows_pushed_plan(self, db):
+        text = db.explain("(a | c)[product='milk']", optimize=True)
+        assert "Select[product='milk']" in text
+        assert text.index("Union") < text.index("Select")  # σ below the op

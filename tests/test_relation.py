@@ -1,0 +1,186 @@
+"""Tests for TPRelation: construction, invariants, algebra helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DuplicateFactError,
+    Interval,
+    TPRelation,
+    TPSchema,
+    UnknownVariableError,
+    base_tuple,
+)
+from repro.core.schema import make_fact
+from repro.core.tuple import TPTuple
+from repro.lineage import Var
+
+
+class TestFromRows:
+    def test_ids_and_events(self, rel_a):
+        ids = [str(t.lineage) for t in rel_a]
+        assert ids == ["a1", "a2", "a3"]
+        assert rel_a.events == {"a1": 0.3, "a2": 0.8, "a3": 0.6}
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError, match="fields"):
+            TPRelation.from_rows("r", ("x", "y"), [("only-one", 1, 2, 0.5)])
+
+    def test_id_prefix(self):
+        r = TPRelation.from_rows(
+            "weird name", ("x",), [("v", 1, 2, 0.5)], id_prefix="w"
+        )
+        assert str(next(iter(r)).lineage) == "w1"
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            TPRelation.from_rows("r", ("x",), [("v", 1, 2, 0.0)])
+        with pytest.raises(ValueError):
+            TPRelation.from_rows("r", ("x",), [("v", 1, 2, 1.5)])
+
+
+class TestDuplicateFreeness:
+    def test_overlap_same_fact_rejected(self):
+        with pytest.raises(DuplicateFactError):
+            TPRelation.from_rows(
+                "r", ("x",), [("v", 1, 5, 0.5), ("v", 4, 8, 0.5)]
+            )
+
+    def test_adjacent_same_fact_allowed(self):
+        r = TPRelation.from_rows("r", ("x",), [("v", 1, 5, 0.5), ("v", 5, 8, 0.5)])
+        assert len(r) == 2
+
+    def test_overlap_different_facts_allowed(self):
+        r = TPRelation.from_rows("r", ("x",), [("v", 1, 5, 0.5), ("w", 1, 5, 0.5)])
+        assert len(r) == 2
+
+    def test_validation_can_be_skipped(self):
+        schema = TPSchema(("x",))
+        t1 = base_tuple(("v",), "r1", Interval(1, 5), 0.5)
+        t2 = base_tuple(("v",), "r2", Interval(4, 8), 0.5)
+        r = TPRelation("r", schema, [t1, t2], {"r1": 0.5, "r2": 0.5}, validate=False)
+        assert len(r) == 2
+
+
+class TestEventValidation:
+    def test_unknown_event_rejected(self):
+        schema = TPSchema(("x",))
+        t = TPTuple(("v",), Var("ghost"), Interval(1, 2))
+        with pytest.raises(UnknownVariableError):
+            TPRelation("r", schema, [t], {})
+
+    def test_fact_arity_checked(self):
+        schema = TPSchema(("x", "y"))
+        t = base_tuple(("only-one",), "r1", Interval(1, 2), 0.5)
+        with pytest.raises(ValueError, match="arity"):
+            TPRelation("r", schema, [t], {"r1": 0.5})
+
+
+class TestAccessors:
+    def test_len_iter_bool(self, rel_a):
+        assert len(rel_a) == 3
+        assert bool(rel_a)
+        assert not TPRelation("e", TPSchema(("x",)), [], {})
+
+    def test_sorted_tuples(self, rel_a):
+        ordered = rel_a.sorted_tuples()
+        assert [t.fact for t in ordered] == [("chips",), ("dates",), ("milk",)]
+
+    def test_facts(self, rel_c):
+        assert rel_c.facts() == {("milk",), ("chips",)}
+
+    def test_distinct_points(self, rel_a):
+        assert rel_a.distinct_points() == {1, 2, 3, 4, 7, 10}
+
+    def test_endpoint_count(self, rel_a):
+        assert rel_a.endpoint_count() == 6
+
+    def test_time_span(self, rel_a):
+        assert rel_a.time_span() == Interval(1, 10)
+        assert TPRelation("e", TPSchema(("x",)), [], {}).time_span() is None
+
+
+class TestSelection:
+    def test_select_equality(self, rel_c):
+        milk = rel_c.select(product="milk")
+        assert len(milk) == 2
+        assert milk.facts() == {("milk",)}
+
+    def test_select_keeps_events(self, rel_c):
+        milk = rel_c.select(product="milk")
+        assert milk.events == rel_c.events
+
+    def test_select_unknown_attribute(self, rel_c):
+        from repro import SchemaMismatchError
+
+        with pytest.raises(SchemaMismatchError):
+            rel_c.select(color="red")
+
+    def test_where(self, rel_c):
+        late = rel_c.where(lambda t: t.start >= 6)
+        assert {t.start for t in late} == {6, 7}
+
+    def test_rename(self, rel_a):
+        assert rel_a.rename("a2").name == "a2"
+
+
+class TestProbabilities:
+    def test_materialize_idempotent(self, rel_a):
+        assert rel_a.materialize_probabilities().equivalent_to(rel_a)
+
+    def test_materialize_fills_missing(self):
+        schema = TPSchema(("x",))
+        t = TPTuple(("v",), Var("e1") & ~Var("e2"), Interval(1, 2))
+        r = TPRelation("r", schema, [t], {"e1": 0.5, "e2": 0.2})
+        filled = r.materialize_probabilities()
+        assert next(iter(filled)).p == pytest.approx(0.4)
+
+    def test_probability_of(self, rel_a):
+        t = next(iter(rel_a))
+        assert rel_a.probability_of(t) == pytest.approx(0.3)
+
+
+class TestComparison:
+    def test_equivalent_to_self(self, rel_a):
+        assert rel_a.equivalent_to(rel_a)
+
+    def test_equivalent_ignores_order(self, rel_a):
+        reversed_rel = TPRelation(
+            "a", rel_a.schema, list(reversed(rel_a.tuples)), rel_a.events
+        )
+        assert rel_a.equivalent_to(reversed_rel)
+
+    def test_probability_tolerance(self, rel_a):
+        bumped = TPRelation(
+            "a",
+            rel_a.schema,
+            [TPTuple(t.fact, t.lineage, t.interval, t.p + 1e-12) for t in rel_a],
+            rel_a.events,
+        )
+        assert rel_a.equivalent_to(bumped)
+        shifted = TPRelation(
+            "a",
+            rel_a.schema,
+            [TPTuple(t.fact, t.lineage, t.interval, min(1.0, t.p + 0.01)) for t in rel_a],
+            rel_a.events,
+        )
+        assert not rel_a.equivalent_to(shifted)
+
+    def test_different_contents(self, rel_a, rel_b):
+        assert not rel_a.equivalent_to(rel_b)
+
+
+class TestRendering:
+    def test_to_table_contains_rows(self, rel_a):
+        table = rel_a.to_table()
+        assert "product" in table
+        assert "'milk'" in table
+        assert "[2,10)" in table
+
+    def test_repr(self, rel_a):
+        assert "3 tuples" in repr(rel_a)
+
+    def test_make_fact_rejects_mutables(self):
+        with pytest.raises(TypeError):
+            make_fact([["nested", "list"]])

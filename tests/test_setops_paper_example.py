@@ -1,0 +1,126 @@
+"""Exact reproduction of the paper's worked examples (Fig. 1c, Fig. 2, Fig. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import tp_except, tp_intersect, tp_union
+
+from .conftest import rows_of
+
+
+class TestFig1QueryResult:
+    """Q = c −Tp (a ∪Tp b) must produce exactly Fig. 1c."""
+
+    def test_rows(self, rel_a, rel_b, rel_c):
+        result = tp_except(rel_c, tp_union(rel_a, rel_b))
+        assert rows_of(result) == {
+            (("milk",), "c1", 1, 2, 0.6),
+            (("milk",), "c1∧¬a1", 2, 4, 0.42),
+            (("milk",), "c2∧¬(a1∨b1)", 6, 8, 0.196),
+            (("chips",), "c3∧¬(a2∨b2)", 4, 5, 0.014),
+            (("chips",), "c4", 7, 9, 0.8),
+        }
+
+
+class TestFig2SelectedOutputs:
+    """Fig. 2's selected tuples of a −Tp c."""
+
+    def test_selected(self, rel_a, rel_c):
+        result = tp_except(rel_a, rel_c)
+        rows = rows_of(result)
+        assert (("dates",), "a3", 1, 3, 0.6) in rows
+        assert (("chips",), "a2∧¬c3", 4, 5, 0.24) in rows
+        assert (("milk",), "a1∧¬c2", 6, 8, 0.09) in rows
+
+
+class TestFig3AllOperations:
+    def test_union(self, rel_a, rel_c):
+        assert rows_of(tp_union(rel_a, rel_c)) == {
+            (("milk",), "c1", 1, 2, 0.6),
+            (("milk",), "a1∨c1", 2, 4, 0.72),
+            (("milk",), "a1", 4, 6, 0.3),
+            (("milk",), "a1∨c2", 6, 8, 0.79),
+            (("milk",), "a1", 8, 10, 0.3),
+            (("chips",), "a2∨c3", 4, 5, 0.94),
+            (("chips",), "a2", 5, 7, 0.8),
+            (("chips",), "c4", 7, 9, 0.8),
+            (("dates",), "a3", 1, 3, 0.6),
+        }
+
+    def test_difference(self, rel_a, rel_c):
+        assert rows_of(tp_except(rel_a, rel_c)) == {
+            (("milk",), "a1∧¬c1", 2, 4, 0.12),
+            (("milk",), "a1", 4, 6, 0.3),
+            (("milk",), "a1∧¬c2", 6, 8, 0.09),
+            (("milk",), "a1", 8, 10, 0.3),
+            (("chips",), "a2∧¬c3", 4, 5, 0.24),
+            (("chips",), "a2", 5, 7, 0.8),
+            (("dates",), "a3", 1, 3, 0.6),
+        }
+
+    def test_intersection(self, rel_a, rel_c):
+        assert rows_of(tp_intersect(rel_a, rel_c)) == {
+            (("milk",), "a1∧c1", 2, 4, 0.18),
+            (("milk",), "a1∧c2", 6, 8, 0.21),
+            (("chips",), "a2∧c3", 4, 5, 0.56),
+        }
+
+
+class TestOperandOrder:
+    """Set difference is not symmetric; union/intersection lineages keep
+    operand order (syntactic comparison is order-sensitive)."""
+
+    def test_difference_asymmetric(self, rel_a, rel_c):
+        ac = rows_of(tp_except(rel_a, rel_c))
+        ca = rows_of(tp_except(rel_c, rel_a))
+        assert ac != ca
+        assert (("milk",), "c1∧¬a1", 2, 4, 0.42) in ca
+
+    def test_union_lineage_operand_order(self, rel_a, rel_c):
+        rows = rows_of(tp_union(rel_c, rel_a))
+        assert (("milk",), "c1∨a1", 2, 4, 0.72) in rows
+
+    def test_union_commutative_up_to_lineage(self, rel_a, rel_c):
+        left = {
+            (fact, lo, hi, p) for (fact, _lam, lo, hi, p) in rows_of(tp_union(rel_a, rel_c))
+        }
+        right = {
+            (fact, lo, hi, p) for (fact, _lam, lo, hi, p) in rows_of(tp_union(rel_c, rel_a))
+        }
+        assert left == right
+
+    def test_intersection_commutative_up_to_lineage(self, rel_a, rel_c):
+        left = {
+            (fact, lo, hi, p)
+            for (fact, _lam, lo, hi, p) in rows_of(tp_intersect(rel_a, rel_c))
+        }
+        right = {
+            (fact, lo, hi, p)
+            for (fact, _lam, lo, hi, p) in rows_of(tp_intersect(rel_c, rel_a))
+        }
+        assert left == right
+
+
+class TestSchemaChecks:
+    def test_arity_mismatch_rejected(self, rel_a):
+        from repro import SchemaMismatchError, TPRelation
+
+        wide = TPRelation.from_rows(
+            "w", ("product", "store"), [("milk", "zurich", 1, 3, 0.5)]
+        )
+        with pytest.raises(SchemaMismatchError):
+            tp_union(rel_a, wide)
+
+    def test_unknown_operation(self, rel_a, rel_c):
+        from repro import UnsupportedOperationError, tp_set_operation
+
+        with pytest.raises(UnsupportedOperationError):
+            tp_set_operation("xor", rel_a, rel_c)
+
+    def test_dispatch_table(self, rel_a, rel_c):
+        from repro import tp_set_operation
+
+        assert tp_set_operation("intersect", rel_a, rel_c).equivalent_to(
+            tp_intersect(rel_a, rel_c)
+        )

@@ -1,0 +1,95 @@
+"""Tests for Theorem 1 and Corollary 1 (Section V-B of the paper).
+
+Non-repeating TP set queries over duplicate-free relations must yield
+lineages in one-occurrence form, making marginal probabilities computable
+by the linear-time factorized valuation.  Repeating queries may (and do)
+break 1OF.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import probability_1of, probability_shannon
+from repro.db import TPDatabase
+from repro.lineage import is_one_occurrence_form
+from repro.query import analyze, parse_query
+
+from .strategies import tp_relation
+
+relaxed = settings(
+    max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+@st.composite
+def non_repeating_query(draw, names):
+    """A random Def. 4 query using each relation at most once."""
+    available = list(names)
+    draw(st.randoms())  # consume entropy deterministically
+
+    def build(lo: int, hi: int) -> str:
+        if hi - lo == 1:
+            return available[lo]
+        split = draw(st.integers(min_value=lo + 1, max_value=hi - 1))
+        op = draw(st.sampled_from(["|", "&", "-"]))
+        return f"({build(lo, split)} {op} {build(split, hi)})"
+
+    count = draw(st.integers(min_value=1, max_value=len(available)))
+    return build(0, count)
+
+
+class TestTheorem1:
+    @relaxed
+    @given(
+        r1=tp_relation("x1", max_facts=2, max_intervals=3),
+        r2=tp_relation("x2", max_facts=2, max_intervals=3),
+        r3=tp_relation("x3", max_facts=2, max_intervals=3),
+        query=non_repeating_query(["r1", "r2", "r3"]),
+    )
+    def test_non_repeating_queries_yield_1of(self, r1, r2, r3, query):
+        db = TPDatabase()
+        db.register(r1.rename("r1"))
+        db.register(r2.rename("r2"))
+        db.register(r3.rename("r3"))
+        assert analyze(parse_query(query)).non_repeating
+        result = db.query(query)
+        for t in result:
+            assert is_one_occurrence_form(t.lineage), (query, str(t.lineage))
+
+    @relaxed
+    @given(
+        r1=tp_relation("x1", max_facts=1, max_intervals=3),
+        r2=tp_relation("x2", max_facts=1, max_intervals=3),
+        r3=tp_relation("x3", max_facts=1, max_intervals=3),
+        query=non_repeating_query(["r1", "r2", "r3"]),
+    )
+    def test_corollary1_linear_valuation_correct(self, r1, r2, r3, query):
+        """For 1OF lineages the linear-time valuation equals Shannon."""
+        db = TPDatabase()
+        db.register(r1.rename("r1"))
+        db.register(r2.rename("r2"))
+        db.register(r3.rename("r3"))
+        result = db.query(query, materialize=False)
+        events = result.events
+        for t in result:
+            fast = probability_1of(t.lineage, events)
+            exact = probability_shannon(t.lineage, events)
+            assert fast == pytest.approx(exact)
+
+    def test_repeating_query_breaks_1of(self):
+        db = TPDatabase()
+        db.create_relation("r", ("x",), [("v", 0, 5, 0.5)])
+        db.create_relation("s", ("x",), [("v", 0, 5, 0.5)])
+        result = db.query("(r | s) - (r & s)", materialize=False)
+        assert any(not is_one_occurrence_form(t.lineage) for t in result)
+
+    def test_depth_nesting_stays_1of(self, rel_a, rel_b, rel_c):
+        """The paper's own plan: c −Tp (a ∪Tp b), lineage like c2∧¬(a1∨b1)."""
+        db = TPDatabase()
+        for rel in (rel_a, rel_b, rel_c):
+            db.register(rel)
+        for t in db.query("c - (a | b)"):
+            assert is_one_occurrence_form(t.lineage)
