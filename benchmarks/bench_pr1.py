@@ -1,0 +1,179 @@
+"""PR-1 performance record: fused LAWA kernel vs. the seed implementation.
+
+Regenerates ``BENCH_pr1.json`` with fig-7/fig-8 LAWA timings (paper's
+synthetic workloads) for
+
+* ``fused``    — the hash-consed + memoized + fused kernel (default path),
+* ``unfused``  — the LawaSweep-driven reference path (``fused=False``),
+  which still benefits from interning and the valuation memo,
+* ``seed``     — the recorded baseline of the pre-refactor tree, measured
+  from a pristine checkout with the identical warm methodology (min of
+  ``WARM_ROUNDS`` rounds of ``LawaAlgorithm.compute`` on the same
+  generated datasets, same machine) — see DESIGN.md §7.
+
+Cold and warm costs are reported separately:
+
+* ``cold_s`` — freshly generated relations and a cleared valuation memo
+  per round: pays the sort, every valuation, and intern misses.  (Intern
+  tables are process-global and stay warm across rounds; true first-run
+  interning is only visible in a fresh process.)
+* ``min_s`` / ``mean_s`` — rounds over the same relation objects, the
+  regime of the pytest-benchmark fig-8 suite (session-scoped fixtures
+  reused across rounds) and of chained queries in a long-lived service:
+  sort caches, merged-events epochs and the valuation memo all hit.
+
+The seed tree had no caches, so its warm rounds cost the same as its
+cold ones; comparing seed-min against both fused numbers is fair in the
+warm regime and conservative in the cold one.
+
+Also asserts that the fused and unfused paths are bit-identical before
+publishing any number.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pr1.py [--scale F] [--out P]
+
+``--scale`` shrinks the datasets (CI smoke uses a small factor); speedup
+ratios against the recorded seed baseline are only emitted at scale 1.0,
+where the workloads match the baseline measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.baselines import get_algorithm
+from repro.core.setops import tp_set_operation
+from repro.datasets import generate_pair
+from repro.prob import clear_valuation_cache
+
+COLD_ROUNDS = 2
+WARM_ROUNDS = 3
+OPS = ("intersect", "union", "except")
+WORKLOADS = {"fig7": 1_000, "fig8": 50_000}
+
+#: Seed-tree baseline (commit before the fused-kernel PR), measured with
+#: this script's warm methodology at scale 1.0.  Kept inline so every
+#: rerun can report the perf trajectory without rebuilding the old tree.
+SEED_BASELINE = {
+    "fig7_intersect": 0.0104,
+    "fig7_union": 0.0161,
+    "fig7_except": 0.0143,
+    "fig8_intersect": 0.7893,
+    "fig8_union": 1.1433,
+    "fig8_except": 1.0664,
+}
+
+
+def _check_bit_identical(r, s) -> None:
+    for op in OPS:
+        fused = tp_set_operation(op, r, s, fused=True)
+        unfused = tp_set_operation(op, r, s, fused=False)
+        assert len(fused) == len(unfused), op
+        for t, u in zip(fused, unfused):
+            assert (
+                t.fact == u.fact
+                and t.interval == u.interval
+                and t.lineage is u.lineage
+                and t.p == u.p
+            ), f"{op}: fused/unfused divergence at {t} vs {u}"
+
+
+def _time_cold(n: int, fn) -> float:
+    """Fastest of COLD_ROUNDS rounds, each on fresh relations with a
+    cleared valuation memo — no sort/merge/memo cache can hit."""
+    best = float("inf")
+    for _ in range(COLD_ROUNDS):
+        r, s = generate_pair(n, seed=0)
+        clear_valuation_cache()
+        started = time.perf_counter()
+        fn(r, s)
+        best = min(best, time.perf_counter() - started)
+    return round(best, 4)
+
+
+def _time_warm(r, s, fn) -> dict[str, float]:
+    fn(r, s)  # warm-up: populate sort caches, merged events, memo
+    samples = []
+    for _ in range(WARM_ROUNDS):
+        started = time.perf_counter()
+        fn(r, s)
+        samples.append(time.perf_counter() - started)
+    return {
+        "min_s": round(min(samples), 4),
+        "mean_s": round(sum(samples) / len(samples), 4),
+        "rounds": WARM_ROUNDS,
+    }
+
+
+def run(scale: float) -> dict:
+    lawa = get_algorithm("LAWA")
+    results: dict = {
+        "meta": {
+            "cold_rounds": COLD_ROUNDS,
+            "warm_rounds": WARM_ROUNDS,
+            "scale": scale,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "methodology": (
+                "LawaAlgorithm.compute with materialized probabilities on "
+                "generate_pair datasets; cold = fresh relations + cleared "
+                "valuation memo per round, warm = repeated rounds on the "
+                "same relations (the fig-8 pytest-benchmark regime)"
+            ),
+        },
+        "seed_baseline": SEED_BASELINE,
+        "timings": {},
+    }
+    for label, nominal in WORKLOADS.items():
+        n = max(32, int(nominal * scale))
+        r, s = generate_pair(n, seed=0)
+        _check_bit_identical(r, s)
+        for op in OPS:
+            key = f"{label}_{op}"
+            fused_cold = _time_cold(n, lambda a, b: lawa.compute(op, a, b))
+            entry = {
+                "n_tuples": n,
+                "result_tuples": len(lawa.compute(op, r, s)),
+                "fused": {
+                    "cold_s": fused_cold,
+                    **_time_warm(r, s, lambda a, b: lawa.compute(op, a, b)),
+                },
+                "unfused": _time_warm(
+                    r, s, lambda a, b: tp_set_operation(op, a, b, fused=False)
+                ),
+            }
+            if scale == 1.0:
+                baseline = SEED_BASELINE[key]
+                entry["speedup_vs_seed_cold"] = round(baseline / fused_cold, 2)
+                entry["speedup_vs_seed_warm_min"] = round(
+                    baseline / entry["fused"]["min_s"], 2
+                )
+            results["timings"][key] = entry
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+    )
+    args = parser.parse_args()
+    results = run(args.scale)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for key, entry in results["timings"].items():
+        cold = entry.get("speedup_vs_seed_cold")
+        warm = entry.get("speedup_vs_seed_warm_min")
+        extra = f"  (vs seed: {cold}x cold, {warm}x warm)" if cold else ""
+        print(
+            f"  {key}: fused cold {entry['fused']['cold_s']}s, "
+            f"warm min {entry['fused']['min_s']}s{extra}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -73,6 +73,41 @@ def main() -> None:
         f"{t.start}..{t.end - 1}."
     )
 
+    performance_notes(db)
+
+
+def performance_notes(db) -> None:
+    """Sortedness propagation and the probability-valuation cache.
+
+    Set operations run a fused kernel (sort → LAWA → λ-filter → λ-concat
+    → valuation in one loop).  Two knobs matter at scale:
+
+    * **Sortedness.**  Relations cache their (F, Ts) order, and every
+      set-operation output is *born sorted* — chained operations never
+      re-sort.  If your loader already emits (F, Ts) order, construct
+      with ``TPRelation(..., assume_sorted=True)`` to skip even the
+      first sort.
+    * **Valuation caching.**  Lineage formulas are hash-consed, and
+      probabilities of repeated lineages are memoized per events-map
+      epoch.  Tune with ``ProbabilityOptions(cache=...,
+      cache_max_entries=...)``, observe with ``valuation_cache_stats()``.
+    """
+    from repro import ProbabilityOptions, tp_union, valuation_cache_stats
+
+    a, c = db.relation("a"), db.relation("c")
+
+    print("\n=== Performance: sortedness propagation ===")
+    u = tp_union(a, c)
+    print(f"result born sorted: {u.is_sorted_by_fact_ts}")
+    chained = tp_union(u, c)  # input already sorted — no re-sort happens
+    print(f"chained result sorted too: {chained.is_sorted_by_fact_ts}")
+
+    print("\n=== Performance: valuation cache ===")
+    tp_union(a, c)  # identical lineages as before: memo hits
+    print(f"cache stats: {valuation_cache_stats()}")
+    uncached = tp_union(a, c, options=ProbabilityOptions(cache=False))
+    print(f"cache=False still bit-identical: {uncached.equivalent_to(u)}")
+
 
 if __name__ == "__main__":
     main()

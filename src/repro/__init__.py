@@ -20,6 +20,22 @@ Quickstart
 >>> result = tp_except(c, tp_union(a, b))   # Q = c −Tp (a ∪Tp b)
 >>> len(result)
 5
+
+Performance notes
+-----------------
+* Set operations run a **fused kernel** (sort → LAWA → λ-filter →
+  λ-concat → valuation in one loop); pass ``fused=False`` to drive the
+  paper-shaped single-step :class:`LawaSweep` instead — both paths are
+  bit-identical.
+* Relations cache their ``(F, Ts)`` sort order, and set-operation
+  outputs are born sorted (``TPRelation(..., assume_sorted=True)``), so
+  chained operations never re-sort.  Construct base relations with
+  ``assume_sorted=True`` when the loader already emits ``(F, Ts)`` order.
+* Lineage formulas are hash-consed and probability valuations of
+  repeated lineages are memoized; tune or disable via
+  ``ProbabilityOptions(cache=..., cache_max_entries=...)`` passed to
+  :func:`probability` / :func:`tp_set_operation`, and see
+  ``repro.prob.valuation_cache_stats`` / ``clear_valuation_cache``.
 """
 
 from .algebra import (
@@ -84,11 +100,15 @@ from .lineage import (
 )
 from .prob import (
     Method,
+    ProbabilityOptions,
+    clear_valuation_cache,
     probability,
     probability_1of,
+    probability_batch,
     probability_bdd,
     probability_montecarlo,
     probability_shannon,
+    valuation_cache_stats,
 )
 
 __version__ = "1.0.0"
@@ -143,11 +163,15 @@ __all__ = [
     "parse_lineage",
     "render_timeline",
     "render_windows",
+    "ProbabilityOptions",
+    "clear_valuation_cache",
     "probability",
     "probability_1of",
+    "probability_batch",
     "probability_bdd",
     "probability_montecarlo",
     "probability_shannon",
+    "valuation_cache_stats",
     "snapshot_lineages",
     "timeslice",
     "tp_except",

@@ -19,7 +19,7 @@ from typing import Iterable
 from ..core.errors import UnsupportedOperationError
 from ..core.relation import TPRelation
 from ..core.tuple import TPTuple
-from ..prob.valuation import probability
+from ..prob.valuation import probability_batch
 
 __all__ = ["SetOpAlgorithm", "OP_SYMBOLS", "ALL_OPERATIONS"]
 
@@ -42,6 +42,10 @@ class SetOpAlgorithm(abc.ABC):
     supports: frozenset[str] = frozenset()
     #: Whether the approach appears in the paper's Table II.
     in_paper: bool = True
+    #: Whether ``_compute_*`` emits tuples already in ``(F, Ts)`` order —
+    #: the result relation then carries the sortedness flag, so chained
+    #: operations skip their re-sort (DESIGN.md §6).
+    emits_sorted: bool = False
 
     def compute(
         self,
@@ -86,17 +90,22 @@ class SetOpAlgorithm(abc.ABC):
         tuples: Iterable[TPTuple],
         materialize: bool,
     ) -> TPRelation:
-        events = {**r.events, **s.events}
+        events = r.merged_events(s)
         out = list(tuples)
         if materialize:
+            # One batch over interned lineages: every distinct formula is
+            # valuated once, however many result tuples carry it.
+            pending = [t for t in out if t.p is None]
+            values = iter(probability_batch((t.lineage for t in pending), events))
             out = [
-                t if t.p is not None else t.with_probability(
-                    probability(t.lineage, events)
-                )
+                t if t.p is not None else t.with_probability(next(values))
                 for t in out
             ]
         name = f"({r.name} {OP_SYMBOLS[op]} {s.name})[{self.name}]"
-        return TPRelation(name, r.schema, out, events, validate=False)
+        return TPRelation(
+            name, r.schema, out, events,
+            validate=False, assume_sorted=self.emits_sorted,
+        )
 
     def __repr__(self) -> str:
         ops = ", ".join(op for op in ALL_OPERATIONS if op in self.supports)

@@ -3,24 +3,56 @@
 The implementation lives in :mod:`repro.core.setops`; this adapter exists
 so the benchmark harness can iterate uniformly over {LAWA, NORM, TPDB,
 OIP, TI} exactly as the paper's evaluation does.
+
+Unlike the other baselines, LAWA overrides :meth:`compute` wholesale: the
+fused kernel already performs batch probability materialization and emits
+a sorted relation, so funnelling its output through the generic
+``_compute_* → _finish`` two-step would rebuild the relation and rewrite
+every tuple a second time.  The override keeps the interface contract
+(supported-operation checks, result naming) byte-compatible.
 """
 
 from __future__ import annotations
 
+from ..core.errors import UnsupportedOperationError
 from ..core.relation import TPRelation
-from ..core.setops import tp_except, tp_intersect, tp_union
+from ..core.setops import tp_except, tp_intersect, tp_set_operation, tp_union
 from ..core.tuple import TPTuple
-from .interface import SetOpAlgorithm
+from .interface import ALL_OPERATIONS, OP_SYMBOLS, SetOpAlgorithm
 
 __all__ = ["LawaAlgorithm"]
 
 
 class LawaAlgorithm(SetOpAlgorithm):
-    """The paper's contribution: sort → LAWA → λ-filter → λ-function."""
+    """The paper's contribution: sort → LAWA → λ-filter → λ-function.
+
+    Runs the fused kernel of :mod:`repro.core.setops` (DESIGN.md §6); the
+    output relation is emitted in ``(F, Ts)`` order, so chained set
+    operations skip their re-sort.
+    """
 
     name = "LAWA"
     supports = frozenset({"union", "intersect", "except"})
+    emits_sorted = True
 
+    def compute(
+        self,
+        op: str,
+        r: TPRelation,
+        s: TPRelation,
+        *,
+        materialize: bool = True,
+    ) -> TPRelation:
+        if op not in ALL_OPERATIONS:
+            raise UnsupportedOperationError(f"unknown TP set operation {op!r}")
+        if op not in self.supports:  # pragma: no cover - LAWA supports all
+            raise UnsupportedOperationError(
+                f"{self.name} does not support TP set {op} (see Table II)"
+            )
+        result = tp_set_operation(op, r, s, materialize=materialize)
+        return result.rename(f"({r.name} {OP_SYMBOLS[op]} {s.name})[{self.name}]")
+
+    # The hooks remain for callers that drive the generic path explicitly.
     def _compute_union(self, r: TPRelation, s: TPRelation) -> list[TPTuple]:
         return list(tp_union(r, s, materialize=False).tuples)
 

@@ -7,6 +7,13 @@ windows is linear in the input size, and by Proposition 1 the number of
 windows is at most ``nr + ns − fd`` (start/end points of both relations
 minus the number of distinct facts).
 
+This class is the paper-shaped *reference path*: one window object per
+``advance()`` call, state in an explicit status record.  The production
+set operations run the fused kernel in :mod:`repro.core.setops`
+(DESIGN.md §6), which inlines this exact state machine into one loop;
+``tests/test_setops_fused.py`` pins the two bit-identical.  Keep both in
+sync when touching either.
+
 The published pseudocode contains editorial glitches that this
 implementation corrects (documented in DESIGN.md §3 and pinned by tests
 against the snapshot-semantics oracle):

@@ -25,11 +25,10 @@ from typing import Optional, Sequence
 
 from ..lineage.concat import concat_or
 from ..lineage.formula import Lineage, land
-from ..prob.valuation import probability
+from ..prob.valuation import probability_batch
 from .errors import UnsupportedOperationError
 from .interval import Interval
 from .relation import TPRelation
-from .sorting import sort_tuples
 from .tuple import TPTuple
 
 __all__ = ["multi_union", "multi_intersect", "MultiwaySweep", "MultiWindow"]
@@ -157,7 +156,9 @@ def _prepare(relations: Sequence[TPRelation]) -> MultiwaySweep:
     first = relations[0]
     for other in relations[1:]:
         first.schema.check_compatible(other.schema)
-    return MultiwaySweep([sort_tuples(r.tuples) for r in relations])
+    # Cached on each relation; set-operation outputs carry their
+    # sortedness flag, so n-ary sweeps over derived inputs never re-sort.
+    return MultiwaySweep([r.sorted_tuples() for r in relations])
 
 
 def _finish(
@@ -170,12 +171,16 @@ def _finish(
     for r in relations:
         events.update(r.events)
     if materialize:
+        values = probability_batch((t.lineage for t in out), events)
         out = [
-            TPTuple(t.fact, t.lineage, t.interval, probability(t.lineage, events))
-            for t in out
+            TPTuple(t.fact, t.lineage, t.interval, p)
+            for t, p in zip(out, values)
         ]
     name = f"({f' {symbol} '.join(r.name for r in relations)})"
-    return TPRelation(name, relations[0].schema, out, events, validate=False)
+    return TPRelation(
+        name, relations[0].schema, out, events,
+        validate=False, assume_sorted=True,
+    )
 
 
 def multi_union(

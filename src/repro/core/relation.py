@@ -11,17 +11,32 @@ base-tuple variables its lineages mention.  Base relations populate the
 map from their own tuples; set operations merge the maps of their inputs,
 so derived relations remain self-contained and can valuate lineage
 probabilities without access to the original database.
+
+Sortedness propagation (DESIGN.md §6): a relation remembers whether its
+tuples are already in the ``(F, Ts)`` order the sweep algorithms require.
+Set-operation outputs are emitted in exactly that order, so they are
+constructed with ``assume_sorted=True`` and chained operations skip the
+redundant re-sort; for any other relation the first :meth:`sorted_tuples`
+call sorts once and caches (relations are immutable).
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from ..lineage.formula import Lineage, variables
-from ..prob.valuation import Method, probability
+from ..prob.valuation import (
+    EventMap,
+    Method,
+    ProbabilityOptions,
+    probability,
+    probability_batch,
+)
 from .errors import DuplicateFactError, UnknownVariableError
 from .interval import Interval
 from .schema import Fact, TPSchema, make_fact
+from .sorting import _full_key
 from .tuple import TPTuple, base_tuple
 
 __all__ = ["TPRelation"]
@@ -34,7 +49,10 @@ class TPRelation:
     yields them in the ``(F, Ts)`` order the sweep algorithms require.
     """
 
-    __slots__ = ("name", "schema", "_tuples", "events")
+    __slots__ = (
+        "name", "schema", "_tuples", "events",
+        "_sorted_cache", "_merge_cache", "__weakref__",
+    )
 
     def __init__(
         self,
@@ -44,11 +62,17 @@ class TPRelation:
         events: Mapping[str, float],
         *,
         validate: bool = True,
+        assume_sorted: bool = False,
     ) -> None:
         self.name = name
         self.schema = schema
         self._tuples: tuple[TPTuple, ...] = tuple(tuples)
-        self.events: dict[str, float] = dict(events)
+        # EventMap self-invalidates the valuation memo on mutation.
+        self.events: EventMap = EventMap(events)
+        self._sorted_cache: Optional[list[TPTuple]] = (
+            list(self._tuples) if assume_sorted else None
+        )
+        self._merge_cache: Optional[tuple] = None
         if validate:
             self._validate()
 
@@ -155,8 +179,75 @@ class TPRelation:
         return self._tuples
 
     def sorted_tuples(self) -> list[TPTuple]:
-        """Tuples in ``(F, Ts)`` order — the input order for LAWA."""
-        return sorted(self._tuples, key=lambda t: t.sort_key)
+        """Tuples in ``(F, Ts)`` order — the input order for LAWA.
+
+        The result is computed once and cached (relations are immutable);
+        treat the returned list as read-only.  Relations constructed with
+        ``assume_sorted=True`` — every set-operation output — never sort
+        at all.
+        """
+        cache = self._sorted_cache
+        if cache is None:
+            # Same full (F, Ts, Te) key as repro.core.sorting, so the
+            # default path and the explicit strategies order raw-stream
+            # ties identically (DESIGN.md §6.2).
+            cache = sorted(self._tuples, key=_full_key)
+            self._sorted_cache = cache
+        return cache
+
+    def __getstate__(self) -> dict:
+        # The merge cache holds a weakref (unpicklable) and both caches
+        # are pure derived state — rebuild lazily after unpickling.
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "tuples": self._tuples,
+            "events": dict(self.events),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.schema = state["schema"]
+        self._tuples = state["tuples"]
+        self.events = EventMap(state["events"])
+        self._sorted_cache = None
+        self._merge_cache = None
+
+    def merged_events(self, other: "TPRelation") -> dict[str, float]:
+        """The merged event map ``{**self.events, **other.events}``.
+
+        Cached per right-hand relation (one slot, weakly referenced):
+        repeated operations over the same pair — benchmark rounds,
+        chained queries — then present the *same* mapping object to the
+        valuation layer, whose epoch registry keeps the probability memo
+        warm across calls.  Treat the returned mapping as read-only.
+        """
+        cache = self._merge_cache
+        if cache is not None:
+            ref, merged, epochs = cache
+            # The merged map's own epoch participates so a caller that
+            # mutated the returned mapping can never be served it again.
+            if ref() is other and epochs == (
+                self.events.epoch, other.events.epoch, merged.epoch,
+            ):
+                return merged
+        merged = EventMap(self.events)
+        dict.update(merged, other.events)  # no epoch bump: freshly built
+        self._merge_cache = (
+            weakref.ref(other),
+            merged,
+            (self.events.epoch, other.events.epoch, merged.epoch),
+        )
+        return merged
+
+    @property
+    def is_sorted_by_fact_ts(self) -> bool:
+        """True when the insertion order already is the ``(F, Ts)`` order
+        (either declared via ``assume_sorted`` or discovered by a sort)."""
+        cache = self._sorted_cache
+        if cache is None:
+            return False
+        return all(a is b for a, b in zip(cache, self._tuples))
 
     # ------------------------------------------------------------------
     # simple algebra needed by examples and datasets
@@ -193,25 +284,42 @@ class TPRelation:
         )
 
     def rename(self, name: str) -> "TPRelation":
-        """The same relation under a new catalog name."""
-        return TPRelation(name, self.schema, self._tuples, self.events, validate=False)
+        """The same relation under a new catalog name (sort cache kept)."""
+        renamed = TPRelation(
+            name, self.schema, self._tuples, self.events, validate=False
+        )
+        renamed._sorted_cache = self._sorted_cache
+        return renamed
 
     # ------------------------------------------------------------------
     # probabilities
     # ------------------------------------------------------------------
     def materialize_probabilities(
-        self, *, method: Method = Method.AUTO
+        self, *, method: Method = Method.AUTO,
+        options: Optional[ProbabilityOptions] = None,
     ) -> "TPRelation":
-        """A copy with every tuple's ``p`` computed from its lineage."""
+        """A copy with every tuple's ``p`` computed from its lineage.
+
+        Valuation is batched: interning makes repeated lineages
+        identity-equal, so each distinct formula is valuated once
+        (see :func:`repro.prob.valuation.probability_batch`).
+        """
+        pending = [t for t in self._tuples if t.p is None]
+        values = probability_batch(
+            (t.lineage for t in pending), self.events,
+            method=method, options=options,
+        )
+        by_identity = iter(values)
         materialized = [
-            t if t.p is not None else t.with_probability(
-                probability(t.lineage, self.events, method=method)
-            )
+            t if t.p is not None else t.with_probability(next(by_identity))
             for t in self._tuples
         ]
-        return TPRelation(
+        result = TPRelation(
             self.name, self.schema, materialized, self.events, validate=False
         )
+        if self._sorted_cache is not None and self.is_sorted_by_fact_ts:
+            result._sorted_cache = list(result._tuples)
+        return result
 
     def probability_of(self, t: TPTuple, *, method: Method = Method.AUTO) -> float:
         """Marginal probability of one tuple's lineage under this relation."""

@@ -17,6 +17,20 @@ tuple spanning the current boundary, so
 * intersection stops once *either* side is exhausted,
 * difference stops once the *left* side is exhausted,
 * union runs until both sides are exhausted.
+
+Two execution paths produce bit-identical results (pinned by
+``tests/test_setops_fused.py``):
+
+* the **fused kernel** (default, DESIGN.md §6) runs sort → LAWA →
+  λ-filter → λ-concat → valuation as one loop over plain local state —
+  no per-window :class:`~repro.core.window.LineageWindow` allocation, no
+  per-call sweep-state write-back, cached ``(F, Ts)`` sort order via
+  :meth:`TPRelation.sorted_tuples`, and batch probability
+  materialization that valuates each *distinct* interned lineage once;
+* the **unfused reference path** (``fused=False``) drives the
+  single-step :class:`~repro.core.lawa.LawaSweep` exactly as the paper's
+  pseudocode reads, window objects and all — the oracle the kernel is
+  verified against, and the hook for window-level instrumentation.
 """
 
 from __future__ import annotations
@@ -24,8 +38,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..lineage.concat import concat_and, concat_and_not, concat_or
-from ..lineage.formula import Lineage
-from ..prob.valuation import probability
+from ..lineage.formula import And, Lineage, Not, Or, Var, land, lnot, lor
+from ..prob.valuation import ProbabilityOptions, probability_batch
 from .errors import UnsupportedOperationError
 from .interval import Interval
 from .lawa import LawaSweep
@@ -36,6 +50,14 @@ from .window import LineageWindow
 
 __all__ = ["tp_union", "tp_intersect", "tp_except", "tp_set_operation", "OPERATIONS"]
 
+_OP_UNION, _OP_INTERSECT, _OP_EXCEPT = 0, 1, 2
+
+# Trusted fast construction for kernel-emitted objects: the sweep
+# guarantees non-empty windows, so Interval's range validation and the
+# dataclass __init__ machinery are skipped on the hot path.
+_new = object.__new__
+_setattr = object.__setattr__
+
 
 def tp_intersect(
     r: TPRelation,
@@ -43,6 +65,8 @@ def tp_intersect(
     *,
     materialize: bool = True,
     sort_strategy: str = "comparison",
+    fused: bool = True,
+    options: Optional[ProbabilityOptions] = None,
 ) -> TPRelation:
     """r ∩ᵀᵖ s — facts with non-zero probability to be in r *and* in s.
 
@@ -50,15 +74,7 @@ def tp_intersect(
     valid over it (λr ≠ null ∧ λs ≠ null); the output lineage is
     ``and(λr, λs)``.
     """
-    sweep = _make_sweep(r, s, sort_strategy)
-    out: list[TPTuple] = []
-    while not (sweep.r_exhausted or sweep.s_exhausted):
-        window = sweep.advance()
-        if window is None:
-            break
-        if window.lam_r is not None and window.lam_s is not None:
-            out.append(_emit(window, concat_and(window.lam_r, window.lam_s)))
-    return _finish(r, s, "∩", out, materialize)
+    return _dispatch(_OP_INTERSECT, "∩", r, s, materialize, sort_strategy, fused, options)
 
 
 def tp_union(
@@ -67,21 +83,15 @@ def tp_union(
     *,
     materialize: bool = True,
     sort_strategy: str = "comparison",
+    fused: bool = True,
+    options: Optional[ProbabilityOptions] = None,
 ) -> TPRelation:
     """r ∪ᵀᵖ s — facts with non-zero probability to be in r *or* in s.
 
     Every window yields an output tuple (by construction at least one side
     is valid); the output lineage is ``or(λr, λs)``.
     """
-    sweep = _make_sweep(r, s, sort_strategy)
-    out: list[TPTuple] = []
-    while True:
-        window = sweep.advance()
-        if window is None:
-            break
-        if window.lam_r is not None or window.lam_s is not None:
-            out.append(_emit(window, concat_or(window.lam_r, window.lam_s)))
-    return _finish(r, s, "∪", out, materialize)
+    return _dispatch(_OP_UNION, "∪", r, s, materialize, sort_strategy, fused, options)
 
 
 def tp_except(
@@ -90,6 +100,8 @@ def tp_except(
     *,
     materialize: bool = True,
     sort_strategy: str = "comparison",
+    fused: bool = True,
+    options: Optional[ProbabilityOptions] = None,
 ) -> TPRelation:
     """r −ᵀᵖ s — facts with non-zero probability to be in r and not in s.
 
@@ -99,55 +111,275 @@ def tp_except(
     probabilistic dimension keeps such tuples with reduced probability,
     unlike purely temporal difference).
     """
-    sweep = _make_sweep(r, s, sort_strategy)
-    out: list[TPTuple] = []
-    while not sweep.r_exhausted:
-        window = sweep.advance()
-        if window is None:
+    return _dispatch(_OP_EXCEPT, "−", r, s, materialize, sort_strategy, fused, options)
+
+
+def _dispatch(
+    opcode: int,
+    symbol: str,
+    r: TPRelation,
+    s: TPRelation,
+    materialize: bool,
+    sort_strategy: str,
+    fused: bool,
+    options: Optional[ProbabilityOptions],
+) -> TPRelation:
+    r.schema.check_compatible(s.schema)
+    r_sorted = _sorted_input(r, sort_strategy)
+    s_sorted = _sorted_input(s, sort_strategy)
+    if fused:
+        rows = _fused_sweep(r_sorted, s_sorted, opcode)
+    else:
+        rows = _unfused_sweep(r_sorted, s_sorted, opcode)
+    return _finish(r, s, symbol, rows, materialize, options)
+
+
+def _sorted_input(rel: TPRelation, sort_strategy: str) -> list[TPTuple]:
+    if sort_strategy == "comparison":
+        # Cached on the relation; set-operation outputs carry their
+        # sortedness flag, so chained operations never re-sort.
+        return rel.sorted_tuples()
+    return sort_tuples(rel.tuples, strategy=sort_strategy)
+
+
+# ----------------------------------------------------------------------
+# the fused kernel
+# ----------------------------------------------------------------------
+def _fused_sweep(
+    tr: list[TPTuple], ts: list[TPTuple], opcode: int
+) -> list[tuple]:
+    """sort → LAWA → λ-filter → λ-concat in one loop (DESIGN.md §6).
+
+    Semantically identical to driving :class:`LawaSweep` step by step; the
+    sweep state lives in local variables (cursor tuple, its fact and start
+    point, the valid tuples' lineage and end point per side) and windows
+    are never materialized — output rows ``(fact, λ, winTs, winTe)`` are
+    appended directly.
+    """
+    nr, ns = len(tr), len(ts)
+    ri = si = 0
+    if nr:
+        rt = tr[0]
+        rt_fact = rt.fact
+        rt_start = rt.interval.start
+    else:
+        rt = None
+        rt_fact = rt_start = None
+    if ns:
+        st = ts[0]
+        st_fact = st.fact
+        st_start = st.interval.start
+    else:
+        st = None
+        st_fact = st_start = None
+
+    r_lam: Optional[Lineage] = None  # lineage of the valid left tuple
+    r_end = 0
+    s_lam: Optional[Lineage] = None  # lineage of the valid right tuple
+    s_end = 0
+    prev_te = -1
+    fact: object = object()  # currFact sentinel distinct from any real fact
+
+    rows: list[tuple] = []
+    append = rows.append
+    union = opcode == _OP_UNION
+    intersect = opcode == _OP_INTERSECT
+    diff = opcode == _OP_EXCEPT
+
+    while True:
+        # Early termination (corrected rules, DESIGN.md §3): a side is
+        # exhausted when it has neither an unread cursor tuple nor a
+        # tuple spanning the boundary.
+        if intersect:
+            if (r_lam is None and rt is None) or (s_lam is None and st is None):
+                break
+        elif diff and r_lam is None and rt is None:
             break
-        if window.lam_r is not None:
-            out.append(_emit(window, concat_and_not(window.lam_r, window.lam_s)))
-    return _finish(r, s, "−", out, materialize)
+
+        if r_lam is None and s_lam is None:
+            # No tuple spans the previous boundary: open a fresh window.
+            r_cont = rt is not None and rt_fact == fact
+            s_cont = st is not None and st_fact == fact
+            if r_cont:
+                if s_cont and st_start < rt_start:
+                    win_ts = st_start
+                else:
+                    win_ts = rt_start
+            elif s_cont:
+                win_ts = st_start
+            elif rt is None:
+                if st is None:
+                    break
+                fact = st_fact
+                win_ts = st_start
+            elif st is None or rt_fact < st_fact or (
+                rt_fact == st_fact and rt_start <= st_start
+            ):
+                fact = rt_fact
+                win_ts = rt_start
+            else:
+                fact = st_fact
+                win_ts = st_start
+        else:
+            # Continuation: the new window is adjacent to the previous one.
+            win_ts = prev_te
+
+        # Absorb cursor tuples that become valid exactly at winTs.
+        if rt is not None and rt_fact == fact and rt_start == win_ts:
+            r_lam = rt.lineage
+            r_end = rt.interval.end
+            ri += 1
+            if ri < nr:
+                rt = tr[ri]
+                rt_fact = rt.fact
+                rt_start = rt.interval.start
+            else:
+                rt = None
+        if st is not None and st_fact == fact and st_start == win_ts:
+            s_lam = st.lineage
+            s_end = st.interval.end
+            si += 1
+            if si < ns:
+                st = ts[si]
+                st_fact = st.fact
+                st_start = st.interval.start
+            else:
+                st = None
+
+        # winTe: the earliest among end points of the valid tuples and
+        # start points of upcoming same-fact tuples.
+        win_te = None
+        if rt is not None and rt_fact == fact:
+            win_te = rt_start
+        if st is not None and st_fact == fact and (win_te is None or st_start < win_te):
+            win_te = st_start
+        if r_lam is not None and (win_te is None or r_end < win_te):
+            win_te = r_end
+        if s_lam is not None and (win_te is None or s_end < win_te):
+            win_te = s_end
+        assert win_te is not None and win_te > win_ts, "LAWA produced an empty window"
+
+        # λ-filter + λ-concat (Table I), inlined per operation.  Base
+        # lineages are atomic variables — for those the smart-constructor
+        # normalizations (flattening, constant folding) cannot fire, so
+        # the interned node is built directly; anything else goes through
+        # land/lor/lnot and stays bit-identical to the reference path.
+        if union:
+            if r_lam is None:
+                append((fact, s_lam, win_ts, win_te))
+            elif s_lam is None:
+                append((fact, r_lam, win_ts, win_te))
+            elif type(r_lam) is Var and type(s_lam) is Var:
+                append((fact, Or((r_lam, s_lam)), win_ts, win_te))
+            else:
+                append((fact, lor(r_lam, s_lam), win_ts, win_te))
+        elif intersect:
+            if r_lam is not None and s_lam is not None:
+                if type(r_lam) is Var and type(s_lam) is Var:
+                    append((fact, And((r_lam, s_lam)), win_ts, win_te))
+                else:
+                    append((fact, land(r_lam, s_lam), win_ts, win_te))
+        else:
+            if r_lam is not None:
+                if s_lam is None:
+                    append((fact, r_lam, win_ts, win_te))
+                else:
+                    neg = Not(s_lam) if type(s_lam) is Var else lnot(s_lam)
+                    if type(r_lam) is Var:
+                        append((fact, And((r_lam, neg)), win_ts, win_te))
+                    else:
+                        append((fact, land(r_lam, neg), win_ts, win_te))
+
+        # Expire valid tuples that end exactly at the window boundary.
+        if r_lam is not None and r_end == win_te:
+            r_lam = None
+        if s_lam is not None and s_end == win_te:
+            s_lam = None
+        prev_te = win_te
+
+    return rows
+
+
+# ----------------------------------------------------------------------
+# the unfused reference path (paper-shaped, window objects and all)
+# ----------------------------------------------------------------------
+def _unfused_sweep(
+    r_sorted: list[TPTuple], s_sorted: list[TPTuple], opcode: int
+) -> list[tuple]:
+    sweep = LawaSweep(r_sorted, s_sorted)
+    rows: list[tuple] = []
+    if opcode == _OP_UNION:
+        while True:
+            window = sweep.advance()
+            if window is None:
+                break
+            if window.lam_r is not None or window.lam_s is not None:
+                rows.append(_row(window, concat_or(window.lam_r, window.lam_s)))
+    elif opcode == _OP_INTERSECT:
+        while not (sweep.r_exhausted or sweep.s_exhausted):
+            window = sweep.advance()
+            if window is None:
+                break
+            if window.lam_r is not None and window.lam_s is not None:
+                rows.append(_row(window, concat_and(window.lam_r, window.lam_s)))
+    else:
+        while not sweep.r_exhausted:
+            window = sweep.advance()
+            if window is None:
+                break
+            if window.lam_r is not None:
+                rows.append(_row(window, concat_and_not(window.lam_r, window.lam_s)))
+    return rows
+
+
+def _row(window: LineageWindow, lineage: Lineage) -> tuple:
+    return (window.fact, lineage, window.win_ts, window.win_te)
 
 
 # ----------------------------------------------------------------------
 # shared plumbing
 # ----------------------------------------------------------------------
-def _make_sweep(r: TPRelation, s: TPRelation, sort_strategy: str) -> LawaSweep:
-    r.schema.check_compatible(s.schema)
-    r_sorted = sort_tuples(r.tuples, strategy=sort_strategy)
-    s_sorted = sort_tuples(s.tuples, strategy=sort_strategy)
-    return LawaSweep(r_sorted, s_sorted)
-
-
-def _emit(window: LineageWindow, lineage: Lineage) -> TPTuple:
-    return TPTuple(
-        fact=window.fact,
-        lineage=lineage,
-        interval=Interval(window.win_ts, window.win_te),
-        p=None,
-    )
-
-
 def _finish(
     r: TPRelation,
     s: TPRelation,
     symbol: str,
-    out: list[TPTuple],
+    rows: list[tuple],
     materialize: bool,
+    options: Optional[ProbabilityOptions] = None,
 ) -> TPRelation:
-    events = {**r.events, **s.events}
+    """Materialize output rows into a relation.
+
+    Probabilities are computed in one batch over the interned lineages —
+    each distinct formula is valuated once, however many windows emitted
+    it (see :func:`repro.prob.valuation.probability_batch`).
+    """
+    events = r.merged_events(s)
     if materialize:
-        out = [
-            TPTuple(t.fact, t.lineage, t.interval, probability(t.lineage, events))
-            for t in out
-        ]
+        probs: list = probability_batch(
+            [row[1] for row in rows], events, options=options
+        )
+    else:
+        probs = [None] * len(rows)
+    out: list[TPTuple] = []
+    append = out.append
+    new, set_, interval_cls, tuple_cls = _new, _setattr, Interval, TPTuple
+    for (fact, lam, win_ts, win_te), p in zip(rows, probs):
+        interval = new(interval_cls)
+        set_(interval, "start", win_ts)
+        set_(interval, "end", win_te)
+        t = new(tuple_cls)
+        set_(t, "fact", fact)
+        set_(t, "lineage", lam)
+        set_(t, "interval", interval)
+        set_(t, "p", p)
+        append(t)
     return TPRelation(
         f"({r.name} {symbol} {s.name})",
         r.schema,
         out,
         events,
         validate=False,
+        assume_sorted=True,
     )
 
 
@@ -166,10 +398,19 @@ def tp_set_operation(
     *,
     materialize: bool = True,
     sort_strategy: str = "comparison",
+    fused: bool = True,
+    options: Optional[ProbabilityOptions] = None,
 ) -> TPRelation:
     """Compute ``r <op> s`` where op ∈ {'union', 'intersect', 'except'}."""
     try:
         func = OPERATIONS[op]
     except KeyError as exc:
         raise UnsupportedOperationError(f"unknown TP set operation {op!r}") from exc
-    return func(r, s, materialize=materialize, sort_strategy=sort_strategy)
+    return func(
+        r,
+        s,
+        materialize=materialize,
+        sort_strategy=sort_strategy,
+        fused=fused,
+        options=options,
+    )

@@ -5,6 +5,16 @@ Section VI-B).  The paper notes that a counting-based sort brings the
 total down to linear time whenever the time domain ΩT fits in memory; we
 implement both strategies behind one entry point so benchmarks can compare
 them (`benchmarks/test_complexity_ablation.py`).
+
+Output contract
+---------------
+Both strategies produce the identical order on the *same* input — also on
+raw, not-yet-deduplicated streams where several same-fact tuples may share
+a start point (duplicate-free relations cannot tie on ``(F, Ts)``, but
+loaders and baseline intermediates can).  Ties on ``(F, Ts)`` are broken
+by ``Te`` and then by input order (stability); :func:`sort_counting`
+enforces this by comparison-sorting within a start-point bucket whenever a
+bucket holds more than one tuple (DESIGN.md §6.2).
 """
 
 from __future__ import annotations
@@ -16,9 +26,13 @@ from .tuple import TPTuple
 __all__ = ["sort_comparison", "sort_counting", "sort_tuples", "is_sorted"]
 
 
+def _full_key(t: TPTuple) -> tuple:
+    return (t.fact, t.interval.start, t.interval.end)
+
+
 def sort_comparison(tuples: Iterable[TPTuple]) -> list[TPTuple]:
-    """Timsort by the ``(fact, Ts)`` key — the default strategy."""
-    return sorted(tuples, key=lambda t: t.sort_key)
+    """Timsort by the ``(fact, Ts, Te)`` key — the default strategy."""
+    return sorted(tuples, key=_full_key)
 
 
 def sort_counting(tuples: Iterable[TPTuple]) -> list[TPTuple]:
@@ -30,6 +44,11 @@ def sort_counting(tuples: Iterable[TPTuple]) -> list[TPTuple]:
     (few facts, many intervals) the overall cost is effectively linear.
     Falls back gracefully for sparse domains: buckets are allocated only
     over each group's own start range.
+
+    Buckets with more than one tuple — same fact *and* same start point,
+    which only raw streams produce — are comparison-sorted by ``Te`` (a
+    stable sort, preserving input order on full ties) so the output
+    contract matches :func:`sort_comparison` exactly.
     """
     groups: dict[tuple, list[TPTuple]] = {}
     for t in tuples:
@@ -43,15 +62,18 @@ def sort_counting(tuples: Iterable[TPTuple]) -> list[TPTuple]:
         width = hi - lo + 1
         if width > 4 * len(group) + 16:
             # Domain too sparse for dense buckets: comparison sort wins.
-            group.sort(key=lambda t: t.start)
+            group.sort(key=lambda t: (t.start, t.end))
             ordered.extend(group)
             continue
         buckets: list[list[TPTuple]] = [[] for _ in range(width)]
         for t in group:
             buckets[t.start - lo].append(t)
         for bucket in buckets:
-            # Duplicate-free relations put at most one same-fact tuple per
-            # start point, but we stay safe for raw tuple streams.
+            if len(bucket) > 1:
+                # Raw (not-yet-deduplicated) streams can put several
+                # same-fact tuples on one start point; break the tie the
+                # same way the comparison strategy does.
+                bucket.sort(key=lambda t: t.end)
             ordered.extend(bucket)
     return ordered
 
@@ -66,7 +88,14 @@ def sort_tuples(tuples: Iterable[TPTuple], *, strategy: str = "comparison") -> l
 
 
 def is_sorted(tuples: Sequence[TPTuple]) -> bool:
-    """True iff the sequence is already in ``(fact, Ts)`` order."""
+    """True iff the sequence is in the order this module's sorters emit.
+
+    Uses the same full ``(fact, Ts, Te)`` key as :func:`sort_comparison`
+    so a raw stream accepted by this predicate is exactly one the sorters
+    would leave unchanged.  (On duplicate-free relations the ``Te``
+    component is inert — ties on ``(fact, Ts)`` cannot occur.)
+    """
     return all(
-        tuples[i].sort_key <= tuples[i + 1].sort_key for i in range(len(tuples) - 1)
+        _full_key(tuples[i]) <= _full_key(tuples[i + 1])
+        for i in range(len(tuples) - 1)
     )

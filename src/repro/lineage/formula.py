@@ -1,4 +1,4 @@
-"""Boolean lineage formulas.
+"""Boolean lineage formulas — hash-consed, with O(1) structural metadata.
 
 A lineage expression λ is a Boolean formula over tuple identifiers with the
 connectives ¬, ∧ and ∨ (paper, Section III).  Tuple identifiers denote
@@ -16,6 +16,27 @@ Design notes
   conjunctions/disjunctions, double-negation elimination, constant
   folding), so two formulas built the same way compare equal while the
   printed form still matches the paper's examples (e.g. ``c2∧¬(a1∨b1)``).
+* **Hash-consing** (DESIGN.md §4): every node is interned in a per-class
+  weak table, so syntactically equal formulas are *identity*-equal and
+  ``==`` / ``hash`` collapse to pointer comparisons.  The set-operation
+  kernels exploit this heavily — adjacent LAWA windows reuse the same
+  valid tuples, hence concatenate the identical lineage objects, and the
+  probability-valuation memo can key on node identity.
+* **Structural metadata** is computed incrementally at construction time
+  from the children's cached metadata: :attr:`Lineage.size` (AST node
+  count), :attr:`Lineage.var_total` (total variable occurrences),
+  :attr:`Lineage.var_set` (free variables) and :attr:`Lineage.is_1of`
+  (one-occurrence form).  The classic traversal functions
+  :func:`formula_size`, :func:`variables`, :func:`variable_occurrences`
+  and :func:`repro.lineage.onef.is_one_occurrence_form` therefore run in
+  O(1) — the lever that lets :func:`repro.prob.valuation.probability`
+  dispatch without re-walking formulas per result tuple.
+* Interning is per-process.  Pickling round-trips through
+  :meth:`__reduce__`, which rebuilds (and thereby re-interns) nodes, so
+  identity equality survives serialization.  Construction is not guarded
+  by a lock: under free-threaded interpreters a race can momentarily
+  produce a duplicate node, of which exactly one wins the table — the
+  CPython GIL makes this a non-issue today (DESIGN.md §4.3).
 * ``Top`` and ``Bottom`` (true/false) never appear in lineage attached to
   tuples; they exist for the restriction step of Shannon expansion and BDD
   construction in :mod:`repro.prob`.
@@ -23,8 +44,8 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping
+import weakref
+from typing import Callable, Dict, Iterator, Mapping
 
 __all__ = [
     "Lineage",
@@ -44,11 +65,35 @@ __all__ = [
     "evaluate",
     "restrict",
     "formula_size",
+    "intern_stats",
 ]
+
+# Per-class intern tables.  Values are the canonical nodes; weak references
+# let formulas that nothing retains be collected together with their table
+# entries, so long-running services do not leak every lineage ever built.
+_INTERN_VAR: "weakref.WeakValueDictionary[str, Var]" = weakref.WeakValueDictionary()
+_INTERN_NOT: "weakref.WeakValueDictionary[Lineage, Not]" = weakref.WeakValueDictionary()
+_INTERN_AND: "weakref.WeakValueDictionary[tuple, And]" = weakref.WeakValueDictionary()
+_INTERN_OR: "weakref.WeakValueDictionary[tuple, Or]" = weakref.WeakValueDictionary()
+
+_EMPTY_SET: frozenset[str] = frozenset()
 
 
 class Lineage:
     """Abstract base class of all lineage formula nodes.
+
+    Every concrete node carries cached structural metadata:
+
+    ``size``
+        Number of AST nodes (the |λ| of the linear-time 1OF bound).
+    ``var_total``
+        Total number of variable occurrences (with multiplicity).
+    ``var_set``
+        Frozen set of the distinct variable names.
+    ``is_1of``
+        True iff no variable occurs more than once (one-occurrence form).
+        Maintained incrementally: a connective is in 1OF exactly when its
+        total occurrence count equals its distinct-variable count.
 
     Supports the Python operators ``&``, ``|`` and ``~`` as shorthands for
     the smart constructors, so tests and examples can write
@@ -69,58 +114,243 @@ class Lineage:
     def __str__(self) -> str:
         return _format(self, parent_prec=0)
 
+    # ------------------------------------------------------------------
+    # cached-metadata helpers
+    # ------------------------------------------------------------------
+    def occurrences(self) -> Mapping[str, int]:
+        """Per-variable occurrence counts, computed once and cached.
 
-@dataclass(frozen=True, slots=True)
+        The returned mapping is shared and must not be mutated; use
+        :func:`variable_occurrences` for a private copy.
+        """
+        occ = self._occ  # type: ignore[attr-defined]
+        if occ is None:
+            occ = self._compute_occ()
+            self._occ = occ  # type: ignore[attr-defined]
+        return occ
+
+    def repeated_count(self) -> int:
+        """Number of distinct variables occurring more than once (O(1) when
+        the formula is in 1OF, cached otherwise)."""
+        if self.is_1of:  # type: ignore[attr-defined]
+            return 0
+        return sum(1 for count in self.occurrences().values() if count > 1)
+
+    def _compute_occ(self) -> Dict[str, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
 class Var(Lineage):
     """An atomic lineage variable — the identifier of a base tuple."""
 
-    name: str
+    __slots__ = ("name", "size", "var_total", "var_set", "is_1of", "_occ", "__weakref__")
+
+    def __new__(cls, name: str) -> "Var":
+        self = _INTERN_VAR.get(name)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        self.name = name
+        self.size = 1
+        self.var_total = 1
+        self.var_set = frozenset((name,))
+        self.is_1of = True
+        self._occ = None
+        _INTERN_VAR[name] = self
+        return self
+
+    def _compute_occ(self) -> Dict[str, int]:
+        return {self.name: 1}
+
+    def __reduce__(self):
+        return (Var, (self.name,))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True, slots=True)
 class Not(Lineage):
     """Negation ¬λ."""
 
-    child: Lineage
+    __slots__ = ("child", "size", "var_total", "var_set", "is_1of", "_occ", "__weakref__")
+
+    def __new__(cls, child: Lineage) -> "Not":
+        self = _INTERN_NOT.get(child)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        self.child = child
+        self.size = child.size + 1
+        self.var_total = child.var_total
+        self.var_set = child.var_set
+        self.is_1of = child.is_1of
+        self._occ = None
+        _INTERN_NOT[child] = self
+        return self
+
+    def _compute_occ(self) -> Dict[str, int]:
+        return dict(self.child.occurrences())
+
+    def __reduce__(self):
+        return (Not, (self.child,))
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
 
     def __str__(self) -> str:
         return _format(self, parent_prec=0)
 
 
-@dataclass(frozen=True, slots=True)
+def _merge_occ(children: tuple[Lineage, ...]) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for child in children:
+        for name, count in child.occurrences().items():
+            merged[name] = merged.get(name, 0) + count
+    return merged
+
+
 class And(Lineage):
     """Conjunction λ₁ ∧ … ∧ λₙ (n ≥ 2), flattened, order-preserving."""
 
-    children: tuple[Lineage, ...]
+    __slots__ = ("children", "size", "var_total", "var_set", "is_1of", "_occ", "__weakref__")
+
+    def __new__(cls, children: tuple[Lineage, ...]) -> "And":
+        children = tuple(children)
+        self = _INTERN_AND.get(children)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        self.children = children
+        size = 1
+        total = 0
+        var_set = _EMPTY_SET
+        for child in children:
+            size += child.size
+            total += child.var_total
+            var_set = var_set | child.var_set
+        self.size = size
+        self.var_total = total
+        self.var_set = var_set
+        self.is_1of = total == len(var_set)
+        self._occ = None
+        _INTERN_AND[children] = self
+        return self
+
+    def _compute_occ(self) -> Dict[str, int]:
+        return _merge_occ(self.children)
+
+    def __reduce__(self):
+        return (And, (self.children,))
+
+    def __repr__(self) -> str:
+        return f"And({self.children!r})"
 
     def __str__(self) -> str:
         return _format(self, parent_prec=0)
 
 
-@dataclass(frozen=True, slots=True)
 class Or(Lineage):
     """Disjunction λ₁ ∨ … ∨ λₙ (n ≥ 2), flattened, order-preserving."""
 
-    children: tuple[Lineage, ...]
+    __slots__ = ("children", "size", "var_total", "var_set", "is_1of", "_occ", "__weakref__")
+
+    def __new__(cls, children: tuple[Lineage, ...]) -> "Or":
+        children = tuple(children)
+        self = _INTERN_OR.get(children)
+        if self is not None:
+            return self
+        self = object.__new__(cls)
+        self.children = children
+        size = 1
+        total = 0
+        var_set = _EMPTY_SET
+        for child in children:
+            size += child.size
+            total += child.var_total
+            var_set = var_set | child.var_set
+        self.size = size
+        self.var_total = total
+        self.var_set = var_set
+        self.is_1of = total == len(var_set)
+        self._occ = None
+        _INTERN_OR[children] = self
+        return self
+
+    def _compute_occ(self) -> Dict[str, int]:
+        return _merge_occ(self.children)
+
+    def __reduce__(self):
+        return (Or, (self.children,))
+
+    def __repr__(self) -> str:
+        return f"Or({self.children!r})"
 
     def __str__(self) -> str:
         return _format(self, parent_prec=0)
 
 
-@dataclass(frozen=True, slots=True)
 class Top(Lineage):
     """The constant *true* (internal use by probability valuations)."""
+
+    __slots__ = ("size", "var_total", "var_set", "is_1of", "_occ", "__weakref__")
+
+    _instance: "Top | None" = None
+
+    def __new__(cls) -> "Top":
+        self = cls._instance
+        if self is None:
+            self = object.__new__(cls)
+            self.size = 1
+            self.var_total = 0
+            self.var_set = _EMPTY_SET
+            self.is_1of = True
+            self._occ = {}
+            cls._instance = self
+        return self
+
+    def _compute_occ(self) -> Dict[str, int]:
+        return {}
+
+    def __reduce__(self):
+        return (Top, ())
+
+    def __repr__(self) -> str:
+        return "Top()"
 
     def __str__(self) -> str:
         return "⊤"
 
 
-@dataclass(frozen=True, slots=True)
 class Bottom(Lineage):
     """The constant *false* (internal use by probability valuations)."""
+
+    __slots__ = ("size", "var_total", "var_set", "is_1of", "_occ", "__weakref__")
+
+    _instance: "Bottom | None" = None
+
+    def __new__(cls) -> "Bottom":
+        self = cls._instance
+        if self is None:
+            self = object.__new__(cls)
+            self.size = 1
+            self.var_total = 0
+            self.var_set = _EMPTY_SET
+            self.is_1of = True
+            self._occ = {}
+            cls._instance = self
+        return self
+
+    def _compute_occ(self) -> Dict[str, int]:
+        return {}
+
+    def __reduce__(self):
+        return (Bottom, ())
+
+    def __repr__(self) -> str:
+        return "Bottom()"
 
     def __str__(self) -> str:
         return "⊥"
@@ -128,6 +358,16 @@ class Bottom(Lineage):
 
 TRUE = Top()
 FALSE = Bottom()
+
+
+def intern_stats() -> dict[str, int]:
+    """Sizes of the live intern tables (observability / leak tests)."""
+    return {
+        "var": len(_INTERN_VAR),
+        "not": len(_INTERN_NOT),
+        "and": len(_INTERN_AND),
+        "or": len(_INTERN_OR),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -138,16 +378,17 @@ def land(*parts: Lineage) -> Lineage:
 
     ``land(a, land(b, c))`` and ``land(land(a, b), c)`` build the identical
     node ``And((a, b, c))`` so that syntactic equality coincides for the
-    formulas the set-operation algorithms produce.
+    formulas the set-operation algorithms produce.  Thanks to interning
+    the two calls return the very same object.
     """
     flat: list[Lineage] = []
     for part in parts:
-        if isinstance(part, Top):
-            continue
-        if isinstance(part, Bottom):
-            return FALSE
         if isinstance(part, And):
             flat.extend(part.children)
+        elif isinstance(part, Top):
+            continue
+        elif isinstance(part, Bottom):
+            return FALSE
         else:
             flat.append(part)
     if not flat:
@@ -161,12 +402,12 @@ def lor(*parts: Lineage) -> Lineage:
     """Disjunction with flattening and constant folding (dual of land)."""
     flat: list[Lineage] = []
     for part in parts:
-        if isinstance(part, Bottom):
-            continue
-        if isinstance(part, Top):
-            return TRUE
         if isinstance(part, Or):
             flat.extend(part.children)
+        elif isinstance(part, Bottom):
+            continue
+        elif isinstance(part, Top):
+            return TRUE
         else:
             flat.append(part)
     if not flat:
@@ -188,22 +429,25 @@ def lnot(part: Lineage) -> Lineage:
 
 
 # ----------------------------------------------------------------------
-# structural queries
+# structural queries — O(1) via the cached construction-time metadata
 # ----------------------------------------------------------------------
 def variables(formula: Lineage) -> frozenset[str]:
-    """The set of variable names occurring in ``formula``."""
-    return frozenset(name for name in _iter_var_names(formula))
+    """The set of variable names occurring in ``formula`` (O(1), cached)."""
+    return formula.var_set
 
 
 def variable_occurrences(formula: Lineage) -> dict[str, int]:
-    """Count how many times each variable occurs (for 1OF detection)."""
-    counts: dict[str, int] = {}
-    for name in _iter_var_names(formula):
-        counts[name] = counts.get(name, 0) + 1
-    return counts
+    """Count how many times each variable occurs (for 1OF detection).
+
+    Returns a private copy; the shared cached mapping is available via
+    :meth:`Lineage.occurrences` for read-only hot paths.
+    """
+    return dict(formula.occurrences())
 
 
 def _iter_var_names(formula: Lineage) -> Iterator[str]:
+    """Traversal-based occurrence iterator (kept as the oracle the cached
+    metadata is property-tested against)."""
     stack = [formula]
     while stack:
         node = stack.pop()
@@ -217,17 +461,8 @@ def _iter_var_names(formula: Lineage) -> Iterator[str]:
 
 
 def formula_size(formula: Lineage) -> int:
-    """Number of AST nodes — the |λ| in the linear-time 1OF bound."""
-    count = 0
-    stack = [formula]
-    while stack:
-        node = stack.pop()
-        count += 1
-        if isinstance(node, Not):
-            stack.append(node.child)
-        elif isinstance(node, (And, Or)):
-            stack.extend(node.children)
-    return count
+    """Number of AST nodes — the |λ| in the linear-time 1OF bound (O(1))."""
+    return formula.size
 
 
 def evaluate(formula: Lineage, assignment: Mapping[str, bool]) -> bool:
@@ -256,11 +491,14 @@ def restrict(formula: Lineage, name: str, value: bool) -> Lineage:
 
     This is the cofactor operation of Shannon expansion:
     ``restrict(f, x, True)`` is f|x and ``restrict(f, x, False)`` is f|¬x.
+    Untouched subformulas are returned as-is, and interning makes equal
+    cofactors identity-equal — which is what lets the Shannon memo in
+    :mod:`repro.prob.shannon` hit across expansion branches.
     """
-    if isinstance(formula, Var):
-        if formula.name == name:
-            return TRUE if value else FALSE
+    if name not in formula.var_set:
         return formula
+    if isinstance(formula, Var):
+        return TRUE if value else FALSE
     if isinstance(formula, Not):
         return lnot(restrict(formula.child, name, value))
     if isinstance(formula, And):

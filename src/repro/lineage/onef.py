@@ -6,8 +6,12 @@ query over duplicate-free relations yields lineages in 1OF, and
 Corollary 1 exploits that marginal probabilities of 1OF formulas over
 independent variables are computable in time linear in the formula size.
 
-This module provides the predicate used both by the probability-valuation
-dispatcher (to select the fast path) and by the tests that pin Theorem 1.
+Since the hash-consing refactor (DESIGN.md §4), every lineage node caches
+its 1OF flag at construction time, so the predicate is an O(1) attribute
+read — the valuation dispatcher no longer re-traverses formulas per result
+tuple.  The traversal-based oracle is kept as
+:func:`_is_one_occurrence_form_traversal` and property-tested against the
+cached flag.
 """
 
 from __future__ import annotations
@@ -20,9 +24,17 @@ __all__ = ["is_one_occurrence_form", "check_one_occurrence_form"]
 def is_one_occurrence_form(formula: Lineage) -> bool:
     """True iff no variable occurs more than once in ``formula``.
 
-    Runs in a single pass and aborts at the first repetition, so it is
-    linear in the formula size and cheap enough to be called per result
-    tuple by the valuation dispatcher.
+    O(1): reads the metadata flag maintained incrementally by the
+    interning constructors of :mod:`repro.lineage.formula`.
+    """
+    return formula.is_1of
+
+
+def _is_one_occurrence_form_traversal(formula: Lineage) -> bool:
+    """Single-pass traversal oracle (pre-interning implementation).
+
+    Linear in the formula size, aborting at the first repetition.  Kept
+    for the property tests that pin the cached flag's correctness.
     """
     seen: set[str] = set()
     stack: list[Lineage] = [formula]
@@ -49,14 +61,6 @@ def check_one_occurrence_form(formula: Lineage) -> list[str]:
     Useful in diagnostics: the query analyzer reports exactly which
     repeated subgoals break the PTIME guarantee of Corollary 1.
     """
-    counts: dict[str, int] = {}
-    stack: list[Lineage] = [formula]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, Var):
-            counts[node.name] = counts.get(node.name, 0) + 1
-        elif isinstance(node, Not):
-            stack.append(node.child)
-        elif isinstance(node, (And, Or)):
-            stack.extend(node.children)
-    return sorted(name for name, n in counts.items() if n > 1)
+    if formula.is_1of:
+        return []
+    return sorted(name for name, n in formula.occurrences().items() if n > 1)

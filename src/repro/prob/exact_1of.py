@@ -52,28 +52,51 @@ def probability_1of(
     return _prob(formula, probabilities)
 
 
+def _missing_variable(name: str) -> UnknownVariableError:
+    """The canonical error for a lineage variable without a probability."""
+    return UnknownVariableError(
+        f"no probability registered for lineage variable {name!r}"
+    )
+
+
 def _prob(node: Lineage, probabilities: Mapping[str, float]) -> float:
-    if isinstance(node, Var):
-        try:
+    # Children that are plain variables — the shape Table-I concatenation
+    # emits for every set-operation window — are folded inline, sparing
+    # one recursive call per leaf.  One handler per call wraps the raw
+    # KeyError of a direct lookup; UnknownVariableError subclasses
+    # KeyError, so recursion's already-converted errors must pass through
+    # unwrapped.
+    kind = type(node)
+    try:
+        if kind is Var:
             return probabilities[node.name]
-        except KeyError as exc:
-            raise UnknownVariableError(
-                f"no probability registered for lineage variable {node.name!r}"
-            ) from exc
-    if isinstance(node, Not):
-        return 1.0 - _prob(node.child, probabilities)
-    if isinstance(node, And):
-        product = 1.0
-        for child in node.children:
-            product *= _prob(child, probabilities)
-        return product
-    if isinstance(node, Or):
-        complement = 1.0
-        for child in node.children:
-            complement *= 1.0 - _prob(child, probabilities)
-        return 1.0 - complement
-    if isinstance(node, Top):
+        if kind is Not:
+            child = node.child
+            if type(child) is Var:
+                return 1.0 - probabilities[child.name]
+            return 1.0 - _prob(child, probabilities)
+        if kind is And:
+            product = 1.0
+            for child in node.children:
+                if type(child) is Var:
+                    product *= probabilities[child.name]
+                else:
+                    product *= _prob(child, probabilities)
+            return product
+        if kind is Or:
+            complement = 1.0
+            for child in node.children:
+                if type(child) is Var:
+                    complement *= 1.0 - probabilities[child.name]
+                else:
+                    complement *= 1.0 - _prob(child, probabilities)
+            return 1.0 - complement
+    except KeyError as exc:
+        if isinstance(exc, UnknownVariableError):
+            raise
+        raise _missing_variable(exc.args[0]) from exc
+    if kind is Top:
         return 1.0
-    if isinstance(node, Bottom):
+    if kind is Bottom:
         return 0.0
     raise TypeError(f"not a lineage formula: {node!r}")

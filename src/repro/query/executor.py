@@ -6,6 +6,12 @@ on the *root* result — intermediate relations carry lineage only, which
 mirrors how lineage-based probabilistic databases defer confidence
 computation to the end of query evaluation (and keeps repeated-subgoal
 queries correct: intermediate 1OF-based shortcuts are never taken).
+
+Performance notes (DESIGN.md §5–§6): intermediate set-operation results
+are emitted in ``(F, Ts)`` order and carry their sortedness flag, so a
+chain of operations sorts each base relation at most once; the root
+materialization is a single batch valuation over interned lineages, so a
+formula shared by many result tuples is valuated once.
 """
 
 from __future__ import annotations

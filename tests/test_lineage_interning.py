@@ -1,0 +1,303 @@
+"""Tests for the hash-consing layer and the memoized valuation.
+
+Covers the three contract pillars of DESIGN.md §4–§5:
+
+* identity equality — equal constructions yield the *same object*;
+* cached metadata — O(1) lookups agree with the traversal oracles;
+* valuation-memo invalidation — changing an events map is observed.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TPRelation, tp_union
+from repro.lineage import (
+    And,
+    Not,
+    Or,
+    Var,
+    formula_size,
+    intern_stats,
+    is_one_occurrence_form,
+    land,
+    lnot,
+    lor,
+    parse_lineage,
+    variable_occurrences,
+    variables,
+)
+from repro.lineage.formula import TRUE, FALSE, Bottom, Top, _iter_var_names
+from repro.lineage.onef import _is_one_occurrence_form_traversal
+from repro.prob import (
+    EventMap,
+    Method,
+    ProbabilityOptions,
+    clear_valuation_cache,
+    events_epoch,
+    probability,
+    probability_batch,
+    valuation_cache_stats,
+)
+from tests.strategies import tp_relation_pair
+
+a, b, c = Var("a"), Var("b"), Var("c")
+
+
+@st.composite
+def formulas(draw, depth: int = 4):
+    """Random lineage formulas over a small variable pool (repeats likely)."""
+    if depth == 0:
+        return draw(st.sampled_from([a, b, c]))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(st.sampled_from([a, b, c]))
+    if kind == 1:
+        return lnot(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return land(left, right) if kind == 2 else lor(left, right)
+
+
+class TestIdentityEquality:
+    def test_vars_interned(self):
+        assert Var("x1") is Var("x1")
+        assert Var("x1") is not Var("x2")
+
+    def test_equal_constructions_are_identical(self):
+        assert (a & b) is land(a, b)
+        assert land(a, land(b, c)) is land(land(a, b), c)
+        assert land(a, land(b, c)) is And((a, b, c))
+        assert lor(a, lor(b, c)) is Or((a, b, c))
+        assert lnot(a) is Not(a) is ~a
+
+    def test_constants_are_singletons(self):
+        assert Top() is TRUE
+        assert Bottom() is FALSE
+
+    def test_parser_returns_interned_nodes(self):
+        assert parse_lineage("c1 & !(a1 | b1)") is (
+            Var("c1") & ~(Var("a1") | Var("b1"))
+        )
+
+    def test_order_still_distinguishes(self):
+        assert land(a, b) is not land(b, a)
+        assert land(a, b) != land(b, a)
+
+    @given(formulas(), formulas())
+    def test_syntactic_equality_iff_identity(self, f, g):
+        # With interning, == (identity) must coincide with syntactic
+        # equality, proxied here by the printed form.
+        assert (f == g) == (str(f) == str(g))
+
+    @given(formulas())
+    def test_pickle_roundtrip_reinterns(self, f):
+        assert pickle.loads(pickle.dumps(f)) is f
+
+    def test_intern_tables_release_garbage(self):
+        before = intern_stats()["or"]
+        lor(Var("ephemeral_l"), Var("ephemeral_r"))  # not retained
+        gc.collect()
+        assert intern_stats()["or"] <= before + 1
+
+
+class TestCachedMetadata:
+    @given(formulas())
+    def test_size_matches_traversal(self, f):
+        count = 0
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if isinstance(node, Not):
+                stack.append(node.child)
+            elif isinstance(node, (And, Or)):
+                stack.extend(node.children)
+        assert formula_size(f) == f.size == count
+
+    @given(formulas())
+    def test_variables_match_traversal(self, f):
+        assert variables(f) == frozenset(_iter_var_names(f))
+
+    @given(formulas())
+    def test_occurrences_match_traversal(self, f):
+        oracle: dict[str, int] = {}
+        for name in _iter_var_names(f):
+            oracle[name] = oracle.get(name, 0) + 1
+        assert variable_occurrences(f) == oracle
+        assert f.var_total == sum(oracle.values())
+
+    @given(formulas())
+    def test_1of_flag_matches_traversal(self, f):
+        assert is_one_occurrence_form(f) == _is_one_occurrence_form_traversal(f)
+
+    @given(formulas())
+    def test_repeated_count_matches_occurrences(self, f):
+        expected = sum(1 for n in variable_occurrences(f).values() if n > 1)
+        assert f.repeated_count() == expected
+
+    def test_occurrences_copy_is_private(self):
+        f = land(a, b)
+        variable_occurrences(f)["a"] = 99
+        assert variable_occurrences(f) == {"a": 1, "b": 1}
+
+
+class TestValuationMemo:
+    def setup_method(self):
+        clear_valuation_cache()
+
+    def test_repeated_valuation_hits_memo(self):
+        events = EventMap({"a": 0.5, "b": 0.25})
+        f = a | b
+        first = probability(f, events)
+        before = valuation_cache_stats()["hits"]
+        assert probability(f, events) == first == pytest.approx(0.625)
+        assert valuation_cache_stats()["hits"] == before + 1
+
+    def test_eventmap_mutation_invalidates(self):
+        events = EventMap({"a": 0.5, "b": 0.25})
+        f = a | b
+        assert probability(f, events) == pytest.approx(0.625)
+        events["a"] = 0.1  # in-place value overwrite, same length
+        assert probability(f, events) == pytest.approx(1 - 0.9 * 0.75)
+
+    def test_eventmap_ior_invalidates(self):
+        events = EventMap({"a": 0.5})
+        assert probability(a, events) == 0.5
+        events |= {"a": 0.9}  # dict.__ior__ mutates in place
+        assert probability(a, events) == pytest.approx(0.9)
+
+    def test_explicit_method_bypasses_memo(self):
+        from repro.core.errors import ValuationError
+
+        events = EventMap({"a": 0.5})
+        repeated = a & a  # not in 1OF
+        probability(repeated, events)  # AUTO caches the Shannon value
+        with pytest.raises(ValuationError):
+            # The cached AUTO value must not mask 1OF validation.
+            probability(repeated, events, method=Method.ONE_OCCURRENCE)
+
+    def test_eventmap_noop_probes_keep_epoch(self):
+        events = EventMap({"a": 0.5})
+        before = events.epoch
+        assert events.setdefault("a", 0.9) == 0.5  # pure read
+        events.update()
+        assert events.epoch == before  # memo stays warm
+        events.setdefault("b", 0.7)  # actual insertion
+        assert events.epoch != before
+
+    def test_mutated_merged_events_not_served_again(self):
+        r = TPRelation.from_rows("r", ("x",), [("v", 1, 5, 0.5)])
+        s = TPRelation.from_rows("s", ("x",), [("v", 3, 8, 0.4)])
+        merged = r.merged_events(s)
+        merged["r1"] = 0.999  # caller mutates the returned mapping
+        fresh = r.merged_events(s)
+        assert fresh is not merged
+        assert fresh["r1"] == 0.5
+
+    def test_eventmap_update_and_delete_invalidate(self):
+        events = EventMap({"a": 0.5})
+        assert probability(a, events) == 0.5
+        events.update({"a": 0.75})
+        assert probability(a, events) == 0.75
+        events.pop("a")
+        with pytest.raises(Exception):
+            probability(a, events)
+
+    def test_relation_event_maps_self_invalidate(self):
+        r = TPRelation.from_rows("r", ("x",), [("v", 1, 5, 0.5)])
+        t = r.tuples[0]
+        assert r.probability_of(t) == pytest.approx(0.5)
+        r.events["r1"] = 0.9
+        assert r.probability_of(t) == pytest.approx(0.9)
+
+    def test_plain_small_dicts_keyed_by_content(self):
+        f = a & b
+        assert probability(f, {"a": 0.5, "b": 0.5}) == pytest.approx(0.25)
+        # Same content, different object: epochs coincide — and that is
+        # sound, because equal content implies equal probabilities.
+        assert events_epoch({"a": 0.5, "b": 0.5}) == events_epoch(
+            {"a": 0.5, "b": 0.5}
+        )
+        # Different content must never share an epoch.
+        assert events_epoch({"a": 0.5, "b": 0.5}) != events_epoch(
+            {"a": 0.5, "b": 0.6}
+        )
+        assert probability(f, {"a": 0.5, "b": 0.6}) == pytest.approx(0.30)
+
+    def test_large_plain_dicts_skip_the_memo(self):
+        events = {f"v{i}": 0.5 for i in range(1000)}
+        before = valuation_cache_stats()["entries"]
+        probability(Var("v0"), events)
+        assert valuation_cache_stats()["entries"] == before
+
+    def test_monte_carlo_never_cached(self):
+        events = EventMap({"a": 0.5})
+        before = valuation_cache_stats()["entries"]
+        probability(a, events, method=Method.MONTE_CARLO)
+        assert valuation_cache_stats()["entries"] == before
+
+    def test_cache_can_be_disabled(self):
+        events = EventMap({"a": 0.5})
+        opts = ProbabilityOptions(cache=False)
+        before = valuation_cache_stats()["entries"]
+        probability(a, events, options=opts)
+        assert valuation_cache_stats()["entries"] == before
+
+    def test_batch_deduplicates_identical_lineages(self):
+        events = EventMap({"a": 0.5, "b": 0.25})
+        batch = [a | b, a | b, a | b, a]
+        values = probability_batch(batch, events)
+        assert values == pytest.approx([0.625, 0.625, 0.625, 0.5])
+        stats = valuation_cache_stats()
+        assert stats["misses"] == 2  # one per distinct formula
+        assert stats["hits"] == 2
+
+    def test_missing_variable_error_not_nested(self):
+        from repro.core.errors import UnknownVariableError
+        from repro.prob import probability_1of
+
+        f = lnot(lor(land(a, Var("zz")), c))
+        with pytest.raises(UnknownVariableError) as err:
+            probability_1of(f, {"a": 0.5, "c": 0.5})
+        message = str(err.value)
+        assert "'zz'" in message
+        # UnknownVariableError subclasses KeyError; deep formulas must not
+        # re-wrap the message once per recursion level.
+        assert message.count("no probability registered") == 1
+
+    def test_uncached_batch_keeps_monte_carlo_draws_independent(self):
+        import random
+
+        f = a & a  # repeated variable: AUTO resorts to Monte Carlo below
+        events = EventMap({"a": 0.5})
+
+        def opts():
+            return ProbabilityOptions(
+                cache=False, exact_repeated_limit=-1, samples=500,
+                rng=random.Random(7),
+            )
+
+        batch = probability_batch([f, f], events, options=opts())
+        o = opts()
+        singles = [
+            probability(f, events, options=o),
+            probability(f, events, options=o),
+        ]
+        # Two independent draws from the same stream — the batch must not
+        # collapse duplicated formulas onto one correlated sample.
+        assert batch == singles
+
+    @settings(max_examples=25, deadline=None)
+    @given(tp_relation_pair())
+    def test_memoized_results_match_uncached(self, pair):
+        r, s = pair
+        cached = tp_union(r, s)
+        clear_valuation_cache()
+        uncached = tp_union(r, s, options=ProbabilityOptions(cache=False))
+        assert cached.equivalent_to(uncached)
