@@ -1,0 +1,175 @@
+"""PR-2 performance record: generalized-window joins vs. naive sweepline.
+
+Regenerates ``BENCH_pr2.json`` with timings of every generalized join
+kind (inner, left/right/full outer, anti) on the synthetic join workload
+(:func:`repro.datasets.generate_join_pair`) for
+
+* ``gtwindow`` — the generalized-window kernel of
+  :mod:`repro.algebra.join` (single-scan sweep per key group, fast tuple
+  construction, batched memoized valuation),
+* ``naive``    — the elementary-segment sweepline reference of
+  :mod:`repro.baselines.naive_join` (re-scans the group per segment,
+  coalesces afterwards), the implementation the kernel is cross-checked
+  against.
+
+Cold and warm costs are reported separately, with the same methodology
+as ``bench_pr1.py``:
+
+* ``cold_s`` — freshly generated relations and a cleared valuation memo
+  per round: pays the sort, the grouping and every valuation;
+* ``min_s`` / ``mean_s`` — rounds over the same relation objects: sort
+  caches, merged-events epochs and the valuation memo all hit.
+
+Before publishing any number the two implementations are asserted
+tuple-identical (facts, intervals, interned lineage identity,
+probabilities) on every workload.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pr2.py [--scale F] [--out P]
+
+``--scale`` shrinks the datasets (CI smoke uses a small factor).  The
+committed ``BENCH_pr2.json`` is the scale-1.0 measurement; the CI
+benchmark-regression job compares the machine-independent
+gtwindow/naive ratio of a smoke run against the committed record (see
+``benchmarks/check_regression.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.algebra import tp_join_operation
+from repro.baselines import naive_join_operation
+from repro.datasets import generate_join_pair
+from repro.prob import clear_valuation_cache
+
+COLD_ROUNDS = 2
+WARM_ROUNDS = 3
+KINDS = ("inner", "left_outer", "right_outer", "full_outer", "anti")
+#: workload label → (nominal tuples per side, join-key count).
+WORKLOADS = {"join_2k": (2_000, 40), "join_20k": (20_000, 100)}
+ON = ("key",)
+
+
+def _check_identical(r, s) -> None:
+    for kind in KINDS:
+        kernel = tp_join_operation(kind, r, s, ON)
+        naive = naive_join_operation(kind, r, s, ON)
+        assert len(kernel) == len(naive), kind
+        for t, u in zip(kernel, naive):
+            assert (
+                t.fact == u.fact
+                and t.interval == u.interval
+                and t.lineage is u.lineage
+                and t.p == u.p
+            ), f"{kind}: kernel/naive divergence at {t} vs {u}"
+
+
+def _generate(nominal: int, n_keys: int, scale: float):
+    n = max(64, int(nominal * scale))
+    keys = max(4, int(n_keys * min(1.0, n / nominal)))
+    return generate_join_pair(n, n_keys=keys), n, keys
+
+
+def _time_cold(nominal: int, n_keys: int, scale: float, fn) -> float:
+    best = float("inf")
+    for _ in range(COLD_ROUNDS):
+        (r, s), _, _ = _generate(nominal, n_keys, scale)
+        clear_valuation_cache()
+        started = time.perf_counter()
+        fn(r, s)
+        best = min(best, time.perf_counter() - started)
+    return round(best, 6)
+
+
+def _time_warm(r, s, fn) -> dict[str, float]:
+    fn(r, s)  # warm-up: populate sort caches, merged events, memo
+    samples = []
+    for _ in range(WARM_ROUNDS):
+        started = time.perf_counter()
+        fn(r, s)
+        samples.append(time.perf_counter() - started)
+    return {
+        "min_s": round(min(samples), 6),
+        "mean_s": round(sum(samples) / len(samples), 6),
+        "rounds": WARM_ROUNDS,
+    }
+
+
+def run(scale: float) -> dict:
+    results: dict = {
+        "meta": {
+            "cold_rounds": COLD_ROUNDS,
+            "warm_rounds": WARM_ROUNDS,
+            "scale": scale,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "methodology": (
+                "tp_join_operation (GTWINDOW) vs naive_join_operation "
+                "(NAIVE-SWEEP) with materialized probabilities on "
+                "generate_join_pair datasets; cold = fresh relations + "
+                "cleared valuation memo per round, warm = repeated rounds "
+                "on the same relations; outputs asserted tuple-identical "
+                "before timing"
+            ),
+        },
+        "timings": {},
+    }
+    for label, (nominal, n_keys) in WORKLOADS.items():
+        (r, s), n, keys = _generate(nominal, n_keys, scale)
+        _check_identical(r, s)
+        for kind in KINDS:
+            key = f"{label}_{kind}"
+
+            def kernel(a, b, _kind=kind):
+                return tp_join_operation(_kind, a, b, ON)
+
+            def naive(a, b, _kind=kind):
+                return naive_join_operation(_kind, a, b, ON)
+
+            entry = {
+                "n_tuples_per_side": n,
+                "n_keys": keys,
+                "result_tuples": len(kernel(r, s)),
+                "gtwindow": {
+                    "cold_s": _time_cold(nominal, n_keys, scale, kernel),
+                    **_time_warm(r, s, kernel),
+                },
+                "naive": _time_warm(r, s, naive),
+            }
+            warm = entry["gtwindow"]["min_s"]
+            if warm > 0:
+                entry["speedup_vs_naive_warm"] = round(
+                    entry["naive"]["min_s"] / warm, 2
+                )
+            results["timings"][key] = entry
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_pr2.json",
+    )
+    args = parser.parse_args()
+    results = run(args.scale)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for key, entry in results["timings"].items():
+        speedup = entry.get("speedup_vs_naive_warm")
+        extra = f"  ({speedup}x vs naive)" if speedup else ""
+        print(
+            f"  {key}: gtwindow cold {entry['gtwindow']['cold_s']}s, "
+            f"warm min {entry['gtwindow']['min_s']}s, "
+            f"naive warm min {entry['naive']['min_s']}s{extra}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""CI benchmark-regression gate.
+
+Compares a fresh smoke-scale benchmark run against the committed
+full-scale records (``BENCH_pr1.json``, ``BENCH_pr2.json``) using
+**machine-independent ratios**: absolute timings vary wildly across CI
+runners, but the ratio of the optimized kernel to its in-process
+reference path measures the same code on the same machine in the same
+process, so it is stable —
+
+* PR 1: fused kernel vs. unfused LawaSweep reference
+  (``fused.min_s / unfused.min_s`` per workload/operation);
+* PR 2: generalized-window join kernel vs. naive sweepline
+  (``gtwindow.min_s / naive.min_s`` per workload/kind).
+
+The job fails when a smoke ratio exceeds ``tolerance`` times the
+committed ratio — i.e. the kernel lost more than that factor against
+its reference since the record was taken.  Entries whose smoke timings
+are below ``--min-seconds`` are skipped: at smoke scale the smallest
+workloads finish in microseconds and their ratios are noise.
+
+Run (as CI does)::
+
+    python benchmarks/check_regression.py \
+        --pr1-committed BENCH_pr1.json --pr1-smoke BENCH_pr1.smoke.json \
+        --pr2-committed BENCH_pr2.json --pr2-smoke BENCH_pr2.smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def _ratio(entry: dict, fast: str, reference: str, min_seconds: float):
+    """kernel/reference warm-minimum ratio, or None when below noise."""
+    fast_s = entry[fast]["min_s"]
+    ref_s = entry[reference]["min_s"]
+    if fast_s < min_seconds or ref_s < min_seconds:
+        return None
+    return fast_s / ref_s
+
+
+def check(
+    committed: dict,
+    smoke: dict,
+    fast: str,
+    reference: str,
+    tolerance: float,
+    min_seconds: float,
+    label: str,
+) -> list[str]:
+    failures: list[str] = []
+    for key, smoke_entry in smoke["timings"].items():
+        committed_entry = committed["timings"].get(key)
+        if committed_entry is None:
+            print(f"  {label} {key}: no committed record — skipped")
+            continue
+        smoke_ratio = _ratio(smoke_entry, fast, reference, min_seconds)
+        committed_ratio = _ratio(committed_entry, fast, reference, min_seconds)
+        if smoke_ratio is None or committed_ratio is None:
+            print(f"  {label} {key}: below {min_seconds}s — skipped (noise)")
+            continue
+        limit = committed_ratio * tolerance
+        verdict = "ok" if smoke_ratio <= limit else "REGRESSION"
+        print(
+            f"  {label} {key}: {fast}/{reference} smoke {smoke_ratio:.3f} "
+            f"vs committed {committed_ratio:.3f} (limit {limit:.3f}) {verdict}"
+        )
+        if smoke_ratio > limit:
+            failures.append(
+                f"{label} {key}: ratio {smoke_ratio:.3f} > "
+                f"{tolerance}x committed {committed_ratio:.3f}"
+            )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pr1-committed", type=Path, default=Path("BENCH_pr1.json"))
+    parser.add_argument("--pr1-smoke", type=Path, required=True)
+    parser.add_argument("--pr2-committed", type=Path, default=Path("BENCH_pr2.json"))
+    parser.add_argument("--pr2-smoke", type=Path, required=True)
+    parser.add_argument("--tolerance", type=float, default=1.5)
+    parser.add_argument("--min-seconds", type=float, default=0.002)
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    print("PR1 (fused LAWA kernel vs unfused reference):")
+    failures += check(
+        _load(args.pr1_committed),
+        _load(args.pr1_smoke),
+        "fused",
+        "unfused",
+        args.tolerance,
+        args.min_seconds,
+        "pr1",
+    )
+    print("PR2 (generalized-window joins vs naive sweepline):")
+    failures += check(
+        _load(args.pr2_committed),
+        _load(args.pr2_smoke),
+        "gtwindow",
+        "naive",
+        args.tolerance,
+        args.min_seconds,
+        "pr2",
+    )
+    if failures:
+        print("\nbenchmark regressions detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nno benchmark regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import TPRelation, tp_except, tp_intersect, tp_union
+from repro import tp_except, tp_intersect, tp_union
 from repro.db import TPDatabase
 
 
@@ -73,7 +73,38 @@ def main() -> None:
         f"{t.start}..{t.end - 1}."
     )
 
+    outer_join_example(db)
     performance_notes(db)
+
+
+def outer_join_example(db) -> None:
+    """Generalized windows: outer joins keep partner-less tuples.
+
+    ``stock LEFT OUTER JOIN prices ON product`` keeps every stock tuple:
+    matched rows carry λstock∧λprice over the pair overlap, and
+    null-padded rows carry λstock∧¬(λprice₁∨…) — the probability that
+    the product is in stock while *no* price record exists.  The same
+    machinery drives RIGHT/FULL OUTER JOIN and ANTI JOIN.
+    """
+    db.create_relation(
+        "prices",
+        ("product", "price"),
+        [("milk", 2, 3, 8, 0.8), ("beer", 1, 0, 5, 0.6)],
+    )
+    db.catalog.register(db.relation("c").rename("stock"), replace=True)
+
+    print("\n=== Outer join:  stock ⟕ prices  (generalized windows) ===")
+    print(db.explain("stock LEFT OUTER JOIN prices ON product"))
+    result = db.query("stock LEFT OUTER JOIN prices ON product")
+    print()
+    print(result.to_table())
+    print(
+        "rows with price=None carry λstock∧¬λprice — the product is in "
+        "stock but has no valid price record."
+    )
+
+    print("\n=== Anti join:  stock ▷ prices  (no price record at all) ===")
+    print(db.query("stock ANTI JOIN prices ON product").to_table())
 
 
 def performance_notes(db) -> None:

@@ -45,8 +45,13 @@ from .algebra import (
     stream_except,
     stream_intersect,
     stream_union,
+    tp_anti_join,
+    tp_full_outer_join,
     tp_join,
+    tp_join_operation,
+    tp_left_outer_join,
     tp_project,
+    tp_right_outer_join,
 )
 from .core import (
     AllenRelation,
@@ -123,8 +128,13 @@ __all__ = [
     "stream_except",
     "stream_intersect",
     "stream_union",
+    "tp_anti_join",
+    "tp_full_outer_join",
     "tp_join",
+    "tp_join_operation",
+    "tp_left_outer_join",
     "tp_project",
+    "tp_right_outer_join",
     "Fact",
     "Interval",
     "InvalidIntervalError",

@@ -1,116 +1,166 @@
-"""TP equi-join — the first piece of the paper's §VIII future work.
+"""TP joins — inner, outer and anti, on generalized lineage-aware windows.
 
-The paper's outlook ("we intend to investigate … support for full
-relational algebra") calls for operators beyond set operations.  A
-sequenced TP join follows directly from the same two principles the set
+The base paper's §VIII outlook ("support for full relational algebra")
+is answered by its follow-up, *Generalized Lineage-Aware Temporal
+Windows* (arXiv:1902.04379): the same single-scan window machinery that
+drives the set operations extends to left/right/full outer joins and
+anti joins.  All five operators here follow the two principles the set
 operations are built on:
 
-* **snapshot reducibility** — at each time point, join the probabilistic
-  snapshots: output tuples pair a left and a right tuple whose facts
-  agree on the join attributes, with lineage ``λr ∧ λs``;
-* **change preservation** — output intervals are the maximal periods over
-  which the *same pair* contributes, i.e. the pairwise interval overlaps
-  (two different pairs always differ in lineage, so overlaps are already
-  maximal).
+* **snapshot reducibility** — at each time point, apply the
+  deterministic join to the probabilistic snapshots: a matched output
+  pairs key-matching tuples with lineage ``λr ∧ λs``; a preserved output
+  keeps a tuple of the surviving side with the *negated disjunction* of
+  its valid matches, ``λp ∧ ¬(λo₁ ∨ … ∨ λoₖ)`` — the probabilistic "no
+  partner exists" event (plain ``λp`` when no partner is valid at all);
+* **change preservation** — output intervals are maximal periods of
+  constant lineage: pairwise overlaps for matches,
+  :class:`~repro.core.gtwindow.PreservedWindow` segments (constant match
+  set) for the preserved sides.
 
-Unlike set operations, the two schemas need not be compatible, and a
-join key may group *many* facts per side, so duplicate-freeness does not
-limit concurrency within a group.  The implementation therefore hash-
-partitions on the join key and runs an event sweep per partition with
-active sets on both sides — O(n log n + output).
+The temporal work is delegated to
+:func:`repro.core.gtwindow.generalized_windows`, run per join-key group
+(hash partitioning on the join attributes); probabilities are
+materialized through the batched, memoized valuation path, so each
+distinct interned lineage is valuated once.
+
+Degenerate layouts collapse (DESIGN.md §8.4): when the non-preserved
+side contributes no non-join attributes, its matched and preserved
+output facts coincide and their lineages merge to the preserved tuple's
+own lineage — e.g. a left outer join against a key-only relation *is*
+the left relation.  A full outer join of two key-only relations is
+exactly the TP union of the key projections and is delegated to the
+fused LAWA kernel.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
-from ..core.errors import SchemaMismatchError
+from ..core.errors import SchemaMismatchError, UnsupportedOperationError
+from ..core.gtwindow import (
+    LEFT,
+    MatchWindow,
+    WINDOW_POLICIES,
+    WindowPolicy,
+    generalized_windows,
+)
 from ..core.interval import Interval
 from ..core.relation import TPRelation
-from ..core.schema import TPSchema
+from ..core.schema import Fact, TPSchema
+from ..core.setops import tp_union
 from ..core.tuple import TPTuple
-from ..lineage.concat import concat_and
-from ..prob.valuation import probability
+from ..lineage.formula import Lineage, land, lnot, lor
+from ..prob.valuation import ProbabilityOptions, probability_batch
 
-__all__ = ["tp_join"]
+__all__ = [
+    "JOIN_KINDS",
+    "JOIN_OPERATIONS",
+    "JOIN_SYMBOLS",
+    "JoinLayout",
+    "join_layout",
+    "preserved_lineage",
+    "tp_join",
+    "tp_left_outer_join",
+    "tp_right_outer_join",
+    "tp_full_outer_join",
+    "tp_anti_join",
+    "tp_join_operation",
+]
+
+JOIN_SYMBOLS = {
+    "inner": "⋈",
+    "left_outer": "⟕",
+    "right_outer": "⟖",
+    "full_outer": "⟗",
+    "anti": "▷",
+}
+JOIN_KINDS = tuple(JOIN_SYMBOLS)
+
+# Trusted fast construction for kernel-emitted objects (DESIGN.md §6).
+_new = object.__new__
+_setattr = object.__setattr__
 
 
-def tp_join(
-    r: TPRelation,
-    s: TPRelation,
-    on: Optional[Sequence[str]] = None,
-    *,
-    materialize: bool = True,
-) -> TPRelation:
-    """Sequenced TP equi-join of ``r`` and ``s``.
+# ----------------------------------------------------------------------
+# schema layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinLayout:
+    """Index plumbing shared by the kernel, the naive baseline and the
+    possible-worlds oracle — one definition of the output fact layout."""
 
-    Parameters
-    ----------
-    on:
-        Join attributes, present in both schemas.  ``None`` joins on all
-        shared attribute names (natural join); at least one attribute
-        must be shared.
+    kind: str
+    join_attrs: tuple[str, ...]
+    r_key_idx: tuple[int, ...]
+    s_key_idx: tuple[int, ...]
+    r_rest_idx: tuple[int, ...]
+    s_rest_idx: tuple[int, ...]
+    r_arity: int
+    out_schema: TPSchema
 
-    The output schema is r's attributes followed by s's non-join
-    attributes; the output fact concatenates the corresponding values.
+    @property
+    def s_degenerate(self) -> bool:
+        """True when the right side has no non-join attributes."""
+        return not self.s_rest_idx
 
-    >>> from repro import TPRelation
-    >>> r = TPRelation.from_rows("r", ("item", "store"),
-    ...     [("milk", "hb", 1, 5, 0.5)])
-    >>> s = TPRelation.from_rows("s", ("item", "price"),
-    ...     [("milk", 2, 3, 8, 0.8)])
-    >>> result = tp_join(r, s, on=("item",))
-    >>> [str(t) for t in result]
-    ["('milk', 'hb', 2, r1∧s1, [3,5), 0.4)"]
-    """
+    @property
+    def r_degenerate(self) -> bool:
+        """True when the left side has no non-join attributes."""
+        return not self.r_rest_idx
+
+    def key_of_left(self, fact: Fact) -> tuple:
+        return tuple(fact[i] for i in self.r_key_idx)
+
+    def key_of_right(self, fact: Fact) -> tuple:
+        return tuple(fact[i] for i in self.s_key_idx)
+
+    def matched_fact(self, left_fact: Fact, right_fact: Fact) -> Fact:
+        return left_fact + tuple(right_fact[i] for i in self.s_rest_idx)
+
+    def left_fact(self, left_fact: Fact) -> Fact:
+        """Preserved-left output fact (anti joins keep the left schema)."""
+        if self.kind == "anti":
+            return left_fact
+        return left_fact + (None,) * len(self.s_rest_idx)
+
+    def right_fact(self, right_fact: Fact) -> Fact:
+        """Preserved-right output fact: key values land in the left
+        side's key positions, the left rest positions are null-padded."""
+        head: list = [None] * self.r_arity
+        for k, r_pos in enumerate(self.r_key_idx):
+            head[r_pos] = right_fact[self.s_key_idx[k]]
+        return tuple(head) + tuple(right_fact[i] for i in self.s_rest_idx)
+
+
+def join_layout(
+    kind: str, r: TPRelation, s: TPRelation, on: Optional[Sequence[str]]
+) -> JoinLayout:
+    """Resolve join attributes and build the output-fact layout."""
     join_attrs = _resolve_join_attributes(r, s, on)
-    r_key_idx = [r.schema.index_of(a) for a in join_attrs]
-    s_key_idx = [s.schema.index_of(a) for a in join_attrs]
-    s_rest_idx = [
+    r_key_idx = tuple(r.schema.index_of(a) for a in join_attrs)
+    s_key_idx = tuple(s.schema.index_of(a) for a in join_attrs)
+    r_rest_idx = tuple(i for i in range(r.schema.arity) if i not in r_key_idx)
+    s_rest_idx = tuple(
         i for i, name in enumerate(s.schema.attributes) if name not in join_attrs
-    ]
-
-    out_attributes = tuple(r.schema.attributes) + tuple(
-        s.schema.attributes[i] for i in s_rest_idx
     )
-    out_schema = TPSchema(_disambiguate(out_attributes))
-
-    # Hash partition both inputs on the join key.
-    r_groups: dict = {}
-    for t in r:
-        key = tuple(t.fact[i] for i in r_key_idx)
-        r_groups.setdefault(key, []).append(t)
-    s_groups: dict = {}
-    for t in s:
-        key = tuple(t.fact[i] for i in s_key_idx)
-        s_groups.setdefault(key, []).append(t)
-
-    out: list[TPTuple] = []
-    for key, group_r in r_groups.items():
-        group_s = s_groups.get(key)
-        if group_s is None:
-            continue
-        for rt, st in _overlapping_pairs(group_r, group_s):
-            overlap = rt.interval.intersect(st.interval)
-            assert overlap is not None
-            fact = rt.fact + tuple(st.fact[i] for i in s_rest_idx)
-            out.append(
-                TPTuple(
-                    fact=fact,
-                    lineage=concat_and(rt.lineage, st.lineage),
-                    interval=overlap,
-                )
-            )
-    out.sort(key=lambda t: t.sort_key)
-
-    events = {**r.events, **s.events}
-    if materialize:
-        out = [
-            TPTuple(t.fact, t.lineage, t.interval, probability(t.lineage, events))
-            for t in out
-        ]
-    return TPRelation(
-        f"({r.name} ⋈ {s.name})", out_schema, out, events, validate=False
+    if kind == "anti":
+        out_schema = r.schema
+    else:
+        out_attributes = tuple(r.schema.attributes) + tuple(
+            s.schema.attributes[i] for i in s_rest_idx
+        )
+        out_schema = TPSchema(_disambiguate(out_attributes))
+    return JoinLayout(
+        kind=kind,
+        join_attrs=join_attrs,
+        r_key_idx=r_key_idx,
+        s_key_idx=s_key_idx,
+        r_rest_idx=r_rest_idx,
+        s_rest_idx=s_rest_idx,
+        r_arity=r.schema.arity,
+        out_schema=out_schema,
     )
 
 
@@ -137,34 +187,366 @@ def _resolve_join_attributes(
 
 
 def _disambiguate(names: tuple[str, ...]) -> tuple[str, ...]:
-    """Suffix repeated attribute names so the output schema stays valid."""
-    seen: dict[str, int] = {}
-    out = []
+    """Suffix repeated attribute names so the output schema stays valid.
+
+    Deterministic for any number of collisions: the n-th occurrence of a
+    name gets the first free ``name_<k>`` suffix, skipping suffixes that
+    are themselves taken by literal attribute names (``a, a_2, a`` →
+    ``a, a_2, a_3``).
+    """
+    used = set(names)
+    counts: dict[str, int] = {}
+    out: list[str] = []
     for name in names:
-        count = seen.get(name, 0)
-        out.append(name if count == 0 else f"{name}_{count + 1}")
-        seen[name] = count + 1
+        count = counts.get(name, 0)
+        counts[name] = count + 1
+        if count == 0:
+            out.append(name)
+            continue
+        suffix = count + 1
+        candidate = f"{name}_{suffix}"
+        while candidate in used:
+            suffix += 1
+            candidate = f"{name}_{suffix}"
+        used.add(candidate)
+        out.append(candidate)
     return tuple(out)
 
 
-def _overlapping_pairs(group_r: list[TPTuple], group_s: list[TPTuple]):
-    """Event sweep over one key partition: all temporally overlapping
-    (rt, st) pairs, each exactly once."""
-    events: list[tuple[int, int, int, TPTuple]] = []
-    for t in group_r:
-        events.append((t.start, 1, 0, t))
-        events.append((t.end, 0, 0, t))
-    for t in group_s:
-        events.append((t.start, 1, 1, t))
-        events.append((t.end, 0, 1, t))
-    # Ends before starts at equal time: half-open intervals do not touch.
-    events.sort(key=lambda e: (e[0], e[1]))
+# ----------------------------------------------------------------------
+# lineage concatenation (Table I of the generalized paper)
+# ----------------------------------------------------------------------
+def preserved_lineage(lam: Lineage, others: Sequence[Lineage]) -> Lineage:
+    """``λp ∧ ¬(λo₁ ∨ … ∨ λoₖ)`` — plain ``λp`` for an empty match set."""
+    if not others:
+        return lam
+    return land(lam, lnot(lor(*others)))
 
-    active: tuple[set, set] = (set(), set())
-    for _, is_start, side, t in events:
-        if is_start:
-            for other in active[1 - side]:
-                yield (t, other) if side == 0 else (other, t)
-            active[side].add(t)
-        else:
-            active[side].discard(t)
+
+# ----------------------------------------------------------------------
+# public operators
+# ----------------------------------------------------------------------
+def tp_join(
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+    options: Optional[ProbabilityOptions] = None,
+) -> TPRelation:
+    """Sequenced TP equi-join of ``r`` and ``s``.
+
+    Parameters
+    ----------
+    on:
+        Join attributes, present in both schemas.  ``None`` joins on all
+        shared attribute names (natural join); at least one attribute
+        must be shared.
+
+    The output schema is r's attributes followed by s's non-join
+    attributes; the output fact concatenates the corresponding values.
+
+    >>> from repro import TPRelation
+    >>> r = TPRelation.from_rows("r", ("item", "store"),
+    ...     [("milk", "hb", 1, 5, 0.5)])
+    >>> s = TPRelation.from_rows("s", ("item", "price"),
+    ...     [("milk", 2, 3, 8, 0.8)])
+    >>> result = tp_join(r, s, on=("item",))
+    >>> [str(t) for t in result]
+    ["('milk', 'hb', 2, r1∧s1, [3,5), 0.4)"]
+    """
+    return _generalized_join("inner", r, s, on, materialize, options)
+
+
+def tp_left_outer_join(
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+    options: Optional[ProbabilityOptions] = None,
+) -> TPRelation:
+    """r ⟕ᵀᵖ s — every left tuple survives.
+
+    Matched outputs carry ``λr ∧ λs`` over the pair overlap; for each
+    left tuple, null-padded outputs carry ``λr ∧ ¬(λs₁ ∨ … ∨ λsₖ)`` over
+    every maximal subinterval with a constant set of valid key matches —
+    the probability that the left tuple exists *and* none of its
+    potential partners does.
+    """
+    return _generalized_join("left_outer", r, s, on, materialize, options)
+
+
+def tp_right_outer_join(
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+    options: Optional[ProbabilityOptions] = None,
+) -> TPRelation:
+    """r ⟖ᵀᵖ s — every right tuple survives (mirror of ⟕)."""
+    return _generalized_join("right_outer", r, s, on, materialize, options)
+
+
+def tp_full_outer_join(
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+    options: Optional[ProbabilityOptions] = None,
+) -> TPRelation:
+    """r ⟗ᵀᵖ s — both sides survive."""
+    return _generalized_join("full_outer", r, s, on, materialize, options)
+
+
+def tp_anti_join(
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+    options: Optional[ProbabilityOptions] = None,
+) -> TPRelation:
+    """r ▷ᵀᵖ s — left tuples with no key match, under r's schema.
+
+    The output keeps the probability that the left tuple exists while
+    *no* matching right tuple does: ``λr ∧ ¬(λs₁ ∨ … ∨ λsₖ)``.  Joining
+    on all attributes of compatible schemas coincides with −ᵀᵖ.
+    """
+    return _generalized_join("anti", r, s, on, materialize, options)
+
+
+#: Dispatch table, consumed by the query executor and the registry.
+JOIN_OPERATIONS: dict[str, Callable[..., TPRelation]] = {
+    "inner": tp_join,
+    "left_outer": tp_left_outer_join,
+    "right_outer": tp_right_outer_join,
+    "full_outer": tp_full_outer_join,
+    "anti": tp_anti_join,
+}
+
+
+def tp_join_operation(
+    kind: str,
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]] = None,
+    *,
+    materialize: bool = True,
+    options: Optional[ProbabilityOptions] = None,
+) -> TPRelation:
+    """Compute ``r <kind> s`` where kind names a JOIN_OPERATIONS entry."""
+    try:
+        func = JOIN_OPERATIONS[kind]
+    except KeyError as exc:
+        raise UnsupportedOperationError(f"unknown TP join kind {kind!r}") from exc
+    return func(r, s, on, materialize=materialize, options=options)
+
+
+# ----------------------------------------------------------------------
+# the generalized-window driver
+# ----------------------------------------------------------------------
+def _generalized_join(
+    kind: str,
+    r: TPRelation,
+    s: TPRelation,
+    on: Optional[Sequence[str]],
+    materialize: bool,
+    options: Optional[ProbabilityOptions],
+) -> TPRelation:
+    layout = join_layout(kind, r, s, on)
+    name = f"({r.name} {JOIN_SYMBOLS[kind]} {s.name})"
+    events = r.merged_events(s)
+
+    policy = WINDOW_POLICIES[kind]
+    do_matches = policy.matches
+    preserve_left = policy.preserve_left
+    preserve_right = policy.preserve_right
+    carried: list[TPTuple] = []
+
+    # Degenerate collapses (see module docstring / DESIGN.md §8.4).
+    # They merge matched with preserved output, so they only apply to
+    # policies that emit matches — never to the anti join, whose negated
+    # lineage must survive even when the layouts coincide.
+    if (
+        do_matches
+        and preserve_left
+        and layout.s_degenerate
+        and preserve_right
+        and layout.r_degenerate
+    ):
+        return _degenerate_full_outer(name, layout, r, s, events, materialize, options)
+    if do_matches and preserve_left and layout.s_degenerate:
+        # Matched and preserved-left facts coincide; lineages merge to λr.
+        carried.extend(r.tuples)
+        do_matches = preserve_left = False
+    if policy.matches and preserve_right and layout.r_degenerate:
+        # Mirror: the right side collapses to its key-ordered projection.
+        carried.extend(
+            TPTuple(layout.right_fact(u.fact), u.lineage, u.interval, u.p) for u in s
+        )
+        do_matches = preserve_right = False
+
+    rows: list = []
+    if do_matches or preserve_left or preserve_right:
+        sweep_policy = WindowPolicy(do_matches, preserve_left, preserve_right)
+        rows = _sweep_rows(layout, r, s, sweep_policy)
+
+    if materialize:
+        # One batch over the interned lineages: each distinct formula is
+        # valuated once, however many output tuples carry it.
+        probs: list = list(
+            probability_batch((row[1] for row in rows), events, options=options)
+        )
+        carried_pending = [t for t in carried if t.p is None]
+        carried_values = iter(
+            probability_batch(
+                (t.lineage for t in carried_pending), events, options=options
+            )
+        )
+        carried = [
+            t if t.p is not None else t.with_probability(next(carried_values))
+            for t in carried
+        ]
+    else:
+        probs = [None] * len(rows)
+
+    # Trusted fast construction, as in the fused set-operation kernel:
+    # the sweep guarantees non-empty windows, so Interval validation and
+    # the dataclass __init__ machinery are skipped on the hot path.
+    new, set_, interval_cls, tuple_cls = _new, _setattr, Interval, TPTuple
+    out: list[TPTuple] = []
+    append = out.append
+    for (fact, lam, win_ts, win_te), p in zip(rows, probs):
+        interval = new(interval_cls)
+        set_(interval, "start", win_ts)
+        set_(interval, "end", win_te)
+        t = new(tuple_cls)
+        set_(t, "fact", fact)
+        set_(t, "lineage", lam)
+        set_(t, "interval", interval)
+        set_(t, "p", p)
+        append(t)
+    out.extend(carried)
+    _sort_output(out)
+    return TPRelation(
+        name, layout.out_schema, out, events, validate=False, assume_sorted=True
+    )
+
+
+def _sort_output(out: list[TPTuple]) -> None:
+    """Sort into the null-safe ``(F, Ts, Te)`` order.
+
+    Equivalent to sorting by :func:`repro.core.sorting.null_safe_key`,
+    but the per-value null wrapping is computed once per *distinct* fact
+    — join outputs repeat each fact across many windows.
+    """
+    fact_keys: dict = {}
+
+    def key(t: TPTuple, _cache=fact_keys) -> tuple:
+        fact = t.fact
+        wrapped = _cache.get(fact)
+        if wrapped is None:
+            wrapped = tuple((v is None, v) for v in fact)
+            _cache[fact] = wrapped
+        interval = t.interval
+        return (wrapped, interval.start, interval.end)
+
+    out.sort(key=key)
+
+
+def _sweep_rows(
+    layout: JoinLayout, r: TPRelation, s: TPRelation, policy: WindowPolicy
+) -> list:
+    """Partition on the join key, sweep each group, assemble output rows."""
+    r_groups = _group_by_key(r.sorted_tuples(), layout.r_key_idx)
+    s_groups = _group_by_key(s.sorted_tuples(), layout.s_key_idx)
+
+    if policy.preserve_left and policy.preserve_right:
+        keys = list(r_groups) + [k for k in s_groups if k not in r_groups]
+    elif policy.preserve_left:
+        keys = list(r_groups)
+    elif policy.preserve_right:
+        keys = list(s_groups)
+    else:  # matches only: other groups cannot contribute
+        keys = [k for k in r_groups if k in s_groups]
+
+    matched_fact = layout.matched_fact
+    left_fact = layout.left_fact
+    right_fact = layout.right_fact
+    rows: list = []
+    append = rows.append
+    empty: tuple[TPTuple, ...] = ()
+    match_window = MatchWindow
+    for key in keys:
+        group_l = r_groups.get(key, empty)
+        group_s = s_groups.get(key, empty)
+        for w in generalized_windows(group_l, group_s, policy):
+            if type(w) is match_window:
+                append(
+                    (
+                        matched_fact(w.left.fact, w.right.fact),
+                        land(w.left.lineage, w.right.lineage),
+                        w.win_ts,
+                        w.win_te,
+                    )
+                )
+            elif w.side == LEFT:
+                append(
+                    (
+                        left_fact(w.tuple.fact),
+                        preserved_lineage(w.tuple.lineage, w.others),
+                        w.win_ts,
+                        w.win_te,
+                    )
+                )
+            else:
+                append(
+                    (
+                        right_fact(w.tuple.fact),
+                        preserved_lineage(w.tuple.lineage, w.others),
+                        w.win_ts,
+                        w.win_te,
+                    )
+                )
+    return rows
+
+
+def _group_by_key(
+    tuples_sorted: Sequence[TPTuple], key_idx: tuple[int, ...]
+) -> dict[tuple, list[TPTuple]]:
+    groups: dict[tuple, list[TPTuple]] = {}
+    for u in tuples_sorted:
+        groups.setdefault(tuple(u.fact[i] for i in key_idx), []).append(u)
+    return groups
+
+
+def _degenerate_full_outer(
+    name: str,
+    layout: JoinLayout,
+    r: TPRelation,
+    s: TPRelation,
+    events,
+    materialize: bool,
+    options: Optional[ProbabilityOptions],
+) -> TPRelation:
+    """Full outer join of two key-only relations ≡ TP union of the key
+    projections — delegated to the fused LAWA kernel."""
+    s_projected = TPRelation(
+        s.name,
+        layout.out_schema,
+        [TPTuple(layout.right_fact(u.fact), u.lineage, u.interval, u.p) for u in s],
+        s.events,
+        validate=False,
+    )
+    union = tp_union(r, s_projected, materialize=materialize, options=options)
+    return TPRelation(
+        name,
+        layout.out_schema,
+        union.tuples,
+        events,
+        validate=False,
+        assume_sorted=True,
+    )

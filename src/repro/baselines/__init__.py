@@ -2,12 +2,16 @@
 
 from .interface import ALL_OPERATIONS, OP_SYMBOLS, SetOpAlgorithm
 from .lawa_algorithm import LawaAlgorithm
+from .naive_join import naive_join_operation
 from .norm import NormAlgorithm, normalize
 from .oip import OipAlgorithm, OipPartitioning
 from .registry import (
+    JoinAlgorithm,
     algorithms_supporting,
     all_algorithms,
     get_algorithm,
+    get_join_algorithm,
+    join_algorithms,
     paper_algorithms,
     render_support_matrix,
     support_matrix,
@@ -19,6 +23,7 @@ from .tpdb import ALLEN_OVERLAP_RULES, TpdbAlgorithm
 __all__ = [
     "ALLEN_OVERLAP_RULES",
     "ALL_OPERATIONS",
+    "JoinAlgorithm",
     "LawaAlgorithm",
     "NormAlgorithm",
     "OP_SYMBOLS",
@@ -32,6 +37,9 @@ __all__ = [
     "algorithms_supporting",
     "all_algorithms",
     "get_algorithm",
+    "get_join_algorithm",
+    "join_algorithms",
+    "naive_join_operation",
     "normalize",
     "paper_algorithms",
     "render_support_matrix",

@@ -25,7 +25,6 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from ..core.interval import Interval
 from ..core.relation import TPRelation
 from ..core.tuple import TPTuple
 from ..lineage.concat import concat_and

@@ -3,16 +3,25 @@
 The benchmark harness iterates over :func:`paper_algorithms` exactly as
 the paper's evaluation iterates over {LAWA, NORM, TPDB, OIP, TI}, and
 :func:`support_matrix` regenerates Table II ("Approach Overview").
+
+The generalized-join workload (outer & anti joins, arXiv:1902.04379) has
+its own small registry: :func:`join_algorithms` lists the
+generalized-window kernel (GTWINDOW) and the naive sweepline reference
+(NAIVE-SWEEP) the kernel is cross-checked and benchmarked against.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
 
+from ..algebra.join import JOIN_KINDS, tp_join_operation
 from ..core.errors import UnsupportedOperationError
+from ..core.relation import TPRelation
 from .columnar_algorithm import ColumnarAlgorithm
 from .interface import ALL_OPERATIONS, OP_SYMBOLS, SetOpAlgorithm
 from .lawa_algorithm import LawaAlgorithm
+from .naive_join import naive_join_operation
 from .norm import NormAlgorithm
 from .oip import OipAlgorithm
 from .sweepline import SweeplineAlgorithm
@@ -20,12 +29,15 @@ from .timeline import TimelineIndexAlgorithm
 from .tpdb import TpdbAlgorithm
 
 __all__ = [
+    "JoinAlgorithm",
     "all_algorithms",
     "paper_algorithms",
     "get_algorithm",
     "algorithms_supporting",
     "support_matrix",
     "render_support_matrix",
+    "join_algorithms",
+    "get_join_algorithm",
 ]
 
 #: Table II order: LAWA, NORM, TPDB, OIP, TI.
@@ -72,6 +84,57 @@ def support_matrix(*, paper_only: bool = True) -> dict[str, dict[str, bool]]:
         algorithm.name: {op: op in algorithm.supports for op in ALL_OPERATIONS}
         for algorithm in pool
     }
+
+
+# ----------------------------------------------------------------------
+# generalized joins (outer & anti)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinAlgorithm:
+    """A named algorithm computing the generalized TP joins.
+
+    Unlike the Table-II set-operation approaches, every join algorithm
+    supports the full kind set (inner, left/right/full outer, anti) —
+    the generalized window construction is uniform across them.
+    """
+
+    name: str
+    _impl: Callable[..., TPRelation]
+    supports: frozenset[str] = field(default_factory=lambda: frozenset(JOIN_KINDS))
+
+    def compute(
+        self,
+        kind: str,
+        r: TPRelation,
+        s: TPRelation,
+        on: Optional[Sequence[str]] = None,
+        *,
+        materialize: bool = True,
+    ) -> TPRelation:
+        if kind not in self.supports:
+            raise UnsupportedOperationError(
+                f"{self.name} does not support TP join kind {kind!r}"
+            )
+        return self._impl(kind, r, s, on, materialize=materialize)
+
+    def __repr__(self) -> str:
+        return f"<{self.name}: {', '.join(sorted(self.supports))}>"
+
+
+def join_algorithms() -> list[JoinAlgorithm]:
+    """The registered join algorithms: the kernel and its reference."""
+    return [
+        JoinAlgorithm("GTWINDOW", tp_join_operation),
+        JoinAlgorithm("NAIVE-SWEEP", naive_join_operation),
+    ]
+
+
+def get_join_algorithm(name: str) -> JoinAlgorithm:
+    """Look a join algorithm up by name (case-insensitive)."""
+    for algorithm in join_algorithms():
+        if algorithm.name.lower() == name.lower():
+            return algorithm
+    raise UnsupportedOperationError(f"no join algorithm named {name!r}")
 
 
 def render_support_matrix(*, paper_only: bool = True) -> str:

@@ -12,6 +12,13 @@ from .errors import (
     UnsupportedOperationError,
     ValuationError,
 )
+from .gtwindow import (
+    MatchWindow,
+    PreservedWindow,
+    WINDOW_POLICIES,
+    WindowPolicy,
+    generalized_windows,
+)
 from .interval import AllenRelation, Interval, allen_relation
 from .lawa import LawaSweep, lawa_windows
 from .multiway import MultiwaySweep, MultiWindow, multi_intersect, multi_union
@@ -32,9 +39,13 @@ __all__ = [
     "InvalidIntervalError",
     "LawaSweep",
     "LineageWindow",
+    "MatchWindow",
     "MultiWindow",
     "MultiwaySweep",
     "OPERATIONS",
+    "PreservedWindow",
+    "WINDOW_POLICIES",
+    "WindowPolicy",
     "QueryParseError",
     "SchemaMismatchError",
     "TPError",
@@ -48,6 +59,7 @@ __all__ = [
     "allen_relation",
     "base_tuple",
     "coalesce",
+    "generalized_windows",
     "is_coalesced",
     "is_sorted",
     "lawa_windows",

@@ -36,7 +36,7 @@ from ..prob.valuation import (
 from .errors import DuplicateFactError, UnknownVariableError
 from .interval import Interval
 from .schema import Fact, TPSchema, make_fact
-from .sorting import _full_key
+from .sorting import _full_key, null_safe_key
 from .tuple import TPTuple, base_tuple
 
 __all__ = ["TPRelation"]
@@ -153,7 +153,7 @@ class TPRelation:
 
     def _check_duplicate_free(self) -> None:
         """Duplicate-freeness: same-fact intervals must not overlap."""
-        ordered = sorted(self._tuples, key=lambda t: t.sort_key)
+        ordered = sorted(self._tuples, key=null_safe_key)
         for prev, curr in zip(ordered, ordered[1:]):
             if prev.fact == curr.fact and curr.start < prev.end:
                 raise DuplicateFactError(
@@ -387,7 +387,7 @@ class TPRelation:
                 str(t.interval),
                 "?" if t.p is None else f"{t.p:.6g}",
             ]
-            for t in sorted(self._tuples, key=lambda t: t.sort_key)
+            for t in sorted(self._tuples, key=null_safe_key)
         ]
         widths = [
             max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])

@@ -23,11 +23,32 @@ from typing import Iterable, Sequence
 
 from .tuple import TPTuple
 
-__all__ = ["sort_comparison", "sort_counting", "sort_tuples", "is_sorted"]
+__all__ = [
+    "sort_comparison",
+    "sort_counting",
+    "sort_tuples",
+    "is_sorted",
+    "null_safe_key",
+]
 
 
 def _full_key(t: TPTuple) -> tuple:
     return (t.fact, t.interval.start, t.interval.end)
+
+
+def null_safe_key(t: TPTuple) -> tuple:
+    """``(F, Ts, Te)`` ordering that stays total for null-padded facts.
+
+    Outer joins emit facts containing ``None``; wrapping every value as
+    ``(is_null, value)`` sorts nulls after concrete values without ever
+    comparing ``None`` against one.  On null-free facts the order
+    coincides exactly with :func:`sort_comparison`'s plain key.
+    """
+    return (
+        tuple((v is None, v) for v in t.fact),
+        t.interval.start,
+        t.interval.end,
+    )
 
 
 def sort_comparison(tuples: Iterable[TPTuple]) -> list[TPTuple]:

@@ -8,6 +8,7 @@ from .synthetic import (
     TABLE_III_CONFIGS,
     SyntheticSpec,
     generate_calibrated_pair,
+    generate_join_pair,
     generate_pair,
     generate_relation,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "dataset_stats",
     "fact_overlap_counts",
     "generate_calibrated_pair",
+    "generate_join_pair",
     "generate_meteo",
     "generate_pair",
     "generate_relation",

@@ -23,7 +23,7 @@ per-group overhead, TI's few cross-fact pairs) are observable.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..core.interval import Interval
@@ -36,6 +36,7 @@ __all__ = [
     "generate_relation",
     "generate_pair",
     "generate_calibrated_pair",
+    "generate_join_pair",
     "TABLE_III_CONFIGS",
 ]
 
@@ -160,6 +161,67 @@ def generate_pair(
     r = generate_relation("r", spec_r, partner_max_length=max_length_s)
     s = generate_relation("s", spec_s, partner_max_length=max_length_r)
     return r, s
+
+
+def generate_join_pair(
+    n_tuples: int,
+    *,
+    n_keys: int = 10,
+    max_interval_length: int = 3,
+    max_gap: int = 3,
+    rest_values: int = 4,
+    seed: int = 0,
+) -> tuple[TPRelation, TPRelation]:
+    """Generate an (r, s) pair shaped for the generalized-join workload.
+
+    ``r`` has schema ``(key, a)`` and ``s`` has ``(key, b)``; both chain
+    their tuples along shared per-key time regions (the same region
+    mechanism as :func:`generate_pair`), so tuples of the two relations
+    interleave within a key while same-fact chains stay duplicate-free.
+    Rest values cycle through a small pool, giving each key concurrent
+    *distinct* facts — the multi-valid-tuple regime the generalized
+    windows must negate over.
+    """
+    per_key = -(-n_tuples // n_keys)
+    per_chain = -(-per_key // rest_values)
+    worst_period = max_interval_length + max_gap
+    stride = per_chain * worst_period + worst_period + 1
+
+    def _build(name: str, attributes: tuple[str, str], seed_offset: int) -> TPRelation:
+        local = random.Random(seed + seed_offset)
+        tuples = []
+        events: dict[str, float] = {}
+        produced = 0
+        for key_index in range(n_keys):
+            key = f"k{key_index}"
+            origin = key_index * stride
+            # One chain per rest value, all sharing the key's region:
+            # chains of different facts overlap freely, same-fact chains
+            # stay disjoint (duplicate-free by construction).
+            for rest_index in range(rest_values):
+                if produced == n_tuples:
+                    break
+                rest = f"{attributes[1]}{rest_index}"
+                cursor = origin + local.randint(0, max_gap)
+                for _ in range(per_chain):
+                    if produced == n_tuples:
+                        break
+                    length = local.randint(1, max_interval_length)
+                    produced += 1
+                    identifier = f"{name}{produced}"
+                    p = local.uniform(0.1, 0.9)
+                    tuples.append(
+                        base_tuple(
+                            (key, rest), identifier, Interval(cursor, cursor + length), p
+                        )
+                    )
+                    events[identifier] = p
+                    cursor += length + local.randint(0, max_gap)
+        return TPRelation(
+            name, TPSchema(attributes), tuples, events, validate=False
+        )
+
+    return _build("r", ("key", "a"), 0), _build("s", ("key", "b"), 1)
 
 
 #: Table III of the paper — the interval-length configurations whose

@@ -71,6 +71,7 @@ class TPDatabase:
         text_or_ast: Union[str, QueryNode],
         *,
         algorithm: Union[str, SetOpAlgorithm, None] = None,
+        join_algorithm: Optional[str] = None,
         materialize: bool = True,
         optimize: bool = False,
         aggressive: bool = False,
@@ -79,16 +80,18 @@ class TPDatabase:
 
         ``algorithm`` selects the physical operator for every set
         operation (default LAWA); Table-II capability violations raise at
-        planning time.  ``optimize=True`` flattens associative ∪/∩ chains
-        into single-pass multiway sweeps (lineage-identical);
-        ``aggressive=True`` additionally fuses difference chains,
-        ``(a − b) − c → a − (b ∪ c)``, which preserves facts, intervals
-        and probabilities but changes the lineage form.
+        planning time.  ``join_algorithm`` selects the operator for every
+        join node (default GTWINDOW, the generalized-window kernel;
+        NAIVE-SWEEP runs the sweepline reference).  ``optimize=True``
+        flattens associative ∪/∩ chains into single-pass multiway sweeps
+        (lineage-identical); ``aggressive=True`` additionally fuses
+        difference chains, ``(a − b) − c → a − (b ∪ c)``, which preserves
+        facts, intervals and probabilities but changes the lineage form.
         """
         ast = self._to_ast(text_or_ast)
         if optimize or aggressive:
             ast = optimize_query(ast, aggressive=aggressive)
-        plan = plan_query(ast, algorithm=algorithm)
+        plan = plan_query(ast, algorithm=algorithm, join_algorithm=join_algorithm)
         return execute_plan(plan, self.catalog, materialize=materialize)
 
     def analyze(self, text_or_ast: Union[str, QueryNode]) -> QueryAnalysis:
@@ -100,6 +103,7 @@ class TPDatabase:
         text_or_ast: Union[str, QueryNode],
         *,
         algorithm: Union[str, SetOpAlgorithm, None] = None,
+        join_algorithm: Optional[str] = None,
         optimize: bool = False,
         aggressive: bool = False,
     ) -> str:
@@ -111,7 +115,7 @@ class TPDatabase:
             if (optimize or aggressive)
             else ast
         )
-        plan = plan_query(lowered, algorithm=algorithm)
+        plan = plan_query(lowered, algorithm=algorithm, join_algorithm=join_algorithm)
         return (
             f"query: {lowered}\n"
             f"{plan.describe()}\n"

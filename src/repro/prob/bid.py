@@ -23,7 +23,6 @@ from typing import Mapping, Optional
 
 from ..core.errors import ValuationError
 from ..lineage.formula import Bottom, Lineage, Top, restrict, variables
-from .exact_1of import probability_1of
 from .shannon import probability_shannon
 
 __all__ = ["BlockEventSpace", "probability_bid"]

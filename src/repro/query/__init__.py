@@ -2,6 +2,8 @@
 
 from .analysis import QueryAnalysis, analyze, is_non_repeating
 from .ast import (
+    JOIN_NODE_SYMBOLS,
+    JoinNode,
     OP_TOKENS,
     QueryNode,
     RelationRef,
@@ -14,6 +16,7 @@ from .executor import execute_plan
 from .optimize import MultiOpNode, OptimizedNode, optimize_query
 from .parser import parse_query
 from .planner import (
+    JoinPlan,
     MultiSetOpPlan,
     PhysicalPlan,
     ScanPlan,
@@ -23,6 +26,9 @@ from .planner import (
 )
 
 __all__ = [
+    "JOIN_NODE_SYMBOLS",
+    "JoinNode",
+    "JoinPlan",
     "MultiOpNode",
     "MultiSetOpPlan",
     "OP_TOKENS",

@@ -15,7 +15,14 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from .ast import QueryNode, RelationRef, SelectionNode, SetOpNode, relation_references
+from .ast import (
+    JoinNode,
+    QueryNode,
+    RelationRef,
+    SelectionNode,
+    SetOpNode,
+    relation_references,
+)
 
 __all__ = ["QueryAnalysis", "analyze", "is_non_repeating"]
 
@@ -75,6 +82,8 @@ def analyze(query: QueryNode) -> QueryAnalysis:
     for node in _walk(query):
         if isinstance(node, SetOpNode):
             operations[node.op] += 1
+        elif isinstance(node, JoinNode):
+            operations[f"{node.kind}_join"] += 1
 
     if non_repeating:
         complexity = (
@@ -105,7 +114,7 @@ def _walk(query: QueryNode):
     while stack:
         node = stack.pop()
         yield node
-        if isinstance(node, SetOpNode):
+        if isinstance(node, (SetOpNode, JoinNode)):
             stack.append(node.left)
             stack.append(node.right)
         elif isinstance(node, SelectionNode):

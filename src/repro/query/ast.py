@@ -1,4 +1,4 @@
-"""Abstract syntax of TP set queries (Definition 4).
+"""Abstract syntax of TP set queries (Definition 4), extended with joins.
 
 The grammar of the paper::
 
@@ -6,15 +6,28 @@ The grammar of the paper::
 
 is represented by two node types: :class:`RelationRef` (a leaf naming a
 catalog relation) and :class:`SetOpNode` (a binary operator application).
+The generalized-windows follow-up (arXiv:1902.04379) adds the join
+family as :class:`JoinNode`: inner, left/right/full outer and anti
+joins, optionally restricted to explicit join attributes.
 Nodes are immutable and hashable, so analyses can memoize on subqueries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
-__all__ = ["QueryNode", "RelationRef", "SetOpNode", "SelectionNode", "OP_TOKENS"]
+from ..algebra.join import JOIN_SYMBOLS as JOIN_NODE_SYMBOLS
+
+__all__ = [
+    "QueryNode",
+    "RelationRef",
+    "SetOpNode",
+    "SelectionNode",
+    "JoinNode",
+    "OP_TOKENS",
+    "JOIN_NODE_SYMBOLS",
+]
 
 #: Operator name → the paper's infix symbol.
 OP_TOKENS = {"union": "∪", "intersect": "∩", "except": "−"}
@@ -65,7 +78,32 @@ class SetOpNode:
         return f"({self.left} {OP_TOKENS[self.op]} {self.right})"
 
 
-QueryNode = Union[RelationRef, SetOpNode, SelectionNode]
+@dataclass(frozen=True, slots=True)
+class JoinNode:
+    """An application of a TP join (⋈, ⟕, ⟖, ⟗ or ▷) to two subqueries.
+
+    ``on`` lists explicit join attributes; ``None`` means natural join
+    on all shared attribute names.
+    """
+
+    kind: str  # 'inner' | 'left_outer' | 'right_outer' | 'full_outer' | 'anti'
+    left: "QueryNode"
+    right: "QueryNode"
+    on: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOIN_NODE_SYMBOLS:
+            raise ValueError(f"unknown TP join kind {self.kind!r}")
+        if self.on is not None and not self.on:
+            raise ValueError("explicit join attribute list must not be empty")
+
+    def __str__(self) -> str:
+        symbol = JOIN_NODE_SYMBOLS[self.kind]
+        on_text = "" if self.on is None else "[" + ",".join(self.on) + "]"
+        return f"({self.left} {symbol}{on_text} {self.right})"
+
+
+QueryNode = Union[RelationRef, SetOpNode, SelectionNode, JoinNode]
 
 
 def iter_nodes(query: QueryNode) -> Iterator[QueryNode]:
@@ -74,7 +112,7 @@ def iter_nodes(query: QueryNode) -> Iterator[QueryNode]:
     while stack:
         node = stack.pop()
         yield node
-        if isinstance(node, SetOpNode):
+        if isinstance(node, (SetOpNode, JoinNode)):
             stack.append(node.right)
             stack.append(node.left)
         elif isinstance(node, SelectionNode):

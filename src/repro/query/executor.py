@@ -21,7 +21,14 @@ from typing import Mapping
 from ..core.errors import UnknownRelationError
 from ..core.multiway import multi_intersect, multi_union
 from ..core.relation import TPRelation
-from .planner import MultiSetOpPlan, PhysicalPlan, ScanPlan, SelectPlan, SetOpPlan
+from .planner import (
+    JoinPlan,
+    MultiSetOpPlan,
+    PhysicalPlan,
+    ScanPlan,
+    SelectPlan,
+    SetOpPlan,
+)
 
 __all__ = ["execute_plan"]
 
@@ -54,6 +61,12 @@ def _run(plan: PhysicalPlan, catalog: Mapping[str, TPRelation]) -> TPRelation:
         inputs = [_run(child, catalog) for child in plan.children]
         combine = multi_union if plan.op == "union" else multi_intersect
         return combine(*inputs, materialize=False)
+    if isinstance(plan, JoinPlan):
+        left = _run(plan.left, catalog)
+        right = _run(plan.right, catalog)
+        return plan.algorithm.compute(
+            plan.kind, left, right, on=plan.on, materialize=False
+        )
     assert isinstance(plan, SetOpPlan)
     left = _run(plan.left, catalog)
     right = _run(plan.right, catalog)

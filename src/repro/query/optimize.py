@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
-from .ast import OP_TOKENS, QueryNode, RelationRef, SelectionNode, SetOpNode
+from .ast import JoinNode, OP_TOKENS, QueryNode, RelationRef, SelectionNode, SetOpNode
 
 __all__ = ["MultiOpNode", "OptimizedNode", "optimize_query"]
 
@@ -48,7 +48,7 @@ class MultiOpNode:
         return "(" + f" {token} ".join(str(c) for c in self.children) + ")"
 
 
-OptimizedNode = Union[RelationRef, SelectionNode, SetOpNode, MultiOpNode]
+OptimizedNode = Union[RelationRef, SelectionNode, SetOpNode, JoinNode, MultiOpNode]
 
 
 def optimize_query(query: QueryNode, *, aggressive: bool = False) -> OptimizedNode:
@@ -98,6 +98,12 @@ def _push_selections(node: OptimizedNode) -> OptimizedNode:
         return SelectionNode(child, node.attribute, node.value)
     if isinstance(node, MultiOpNode):
         return MultiOpNode(node.op, tuple(_push_selections(c) for c in node.children))
+    if isinstance(node, JoinNode):
+        # Selections are not pushed through joins: an attribute may be
+        # computed by the join (null padding) or belong to either side.
+        return JoinNode(
+            node.kind, _push_selections(node.left), _push_selections(node.right), node.on
+        )
     assert isinstance(node, SetOpNode)
     return SetOpNode(
         node.op, _push_selections(node.left), _push_selections(node.right)
@@ -112,6 +118,8 @@ def _flatten(node: OptimizedNode) -> OptimizedNode:
     if isinstance(node, MultiOpNode):
         children = tuple(_flatten(c) for c in node.children)
         return MultiOpNode(node.op, _absorb(node.op, children))
+    if isinstance(node, JoinNode):
+        return JoinNode(node.kind, _flatten(node.left), _flatten(node.right), node.on)
     assert isinstance(node, SetOpNode)
     left = _flatten(node.left)
     right = _flatten(node.right)
@@ -147,6 +155,13 @@ def _fuse_differences(node: OptimizedNode) -> OptimizedNode:
         )
     if isinstance(node, MultiOpNode):
         return MultiOpNode(node.op, tuple(_fuse_differences(c) for c in node.children))
+    if isinstance(node, JoinNode):
+        return JoinNode(
+            node.kind,
+            _fuse_differences(node.left),
+            _fuse_differences(node.right),
+            node.on,
+        )
     assert isinstance(node, SetOpNode)
     left = _fuse_differences(node.left)
     right = _fuse_differences(node.right)

@@ -1,4 +1,4 @@
-"""Parser for textual TP set queries.
+"""Parser for textual TP set queries and generalized joins.
 
 Accepts SQL-style keywords and the paper's algebra symbols
 interchangeably::
@@ -6,21 +6,29 @@ interchangeably::
     c EXCEPT (a UNION b)
     c − (a ∪ b)
     c - (a | b)
+    r LEFT OUTER JOIN s ON (item)
+    r ⟕ s ON item
+    r ANTI JOIN s
 
-Operator precedence follows SQL: INTERSECT binds tighter than UNION and
-EXCEPT, which associate to the left at the same level.  Parentheses
-override as usual.
+Operator precedence follows SQL: joins bind tightest (they live in the
+FROM clause), then INTERSECT, then UNION and EXCEPT, which associate to
+the left at the same level.  Parentheses override as usual.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterator, NamedTuple
+from typing import Iterator, NamedTuple, Optional
 
 from ..core.errors import QueryParseError
-from .ast import QueryNode, RelationRef, SelectionNode, SetOpNode
+from .ast import JoinNode, QueryNode, RelationRef, SelectionNode, SetOpNode
 
 __all__ = ["parse_query"]
+
+#: Join keywords that may also appear as bare-word selection values.
+_KEYWORD_KINDS = frozenset(
+    {"join", "left", "right_kw", "full", "outer", "anti", "on"}
+)
 
 
 def _to_number(text: str):
@@ -45,6 +53,18 @@ _TOKEN_RE = re.compile(
   | (?P<string>'[^']*')
   | (?P<number>−?\d+\.\d+|−?\d+)
   | (?P<except>−|\bEXCEPT\b|\bexcept\b|\bMINUS\b|\bminus\b|-)
+  | (?P<comma>,)
+  | (?P<join>⋈|\bJOIN\b|\bjoin\b)
+  | (?P<ljoin>⟕)
+  | (?P<rjoin>⟖)
+  | (?P<fjoin>⟗)
+  | (?P<ajoin>▷)
+  | (?P<left>\bLEFT\b|\bleft\b)
+  | (?P<right_kw>\bRIGHT\b|\bright\b)
+  | (?P<full>\bFULL\b|\bfull\b)
+  | (?P<outer>\bOUTER\b|\bouter\b)
+  | (?P<anti>\bANTI\b|\banti\b)
+  | (?P<on>\bON\b|\bon\b)
   | (?P<name>[A-Za-z_][A-Za-z0-9_.]*)
     """,
     re.VERBOSE,
@@ -93,11 +113,79 @@ class _Parser:
         return node
 
     def _intersect_level(self) -> QueryNode:
-        node = self._atom()
+        node = self._join_level()
         while self._peek().kind == "intersect":
             self._advance()
-            node = SetOpNode("intersect", node, self._atom())
+            node = SetOpNode("intersect", node, self._join_level())
         return node
+
+    def _join_level(self) -> QueryNode:
+        node = self._atom()
+        while True:
+            kind = self._join_kind()
+            if kind is None:
+                return node
+            right = self._atom()
+            node = JoinNode(kind, node, right, self._on_clause())
+
+    def _join_kind(self) -> Optional[str]:
+        """Consume a join operator spelling, if one is next.
+
+        Recognized: ``JOIN`` / ``⋈`` (inner), ``LEFT [OUTER] JOIN`` /
+        ``⟕``, ``RIGHT [OUTER] JOIN`` / ``⟖``, ``FULL [OUTER] JOIN`` /
+        ``⟗``, ``ANTI JOIN`` / ``▷``.
+        """
+        token = self._peek()
+        symbols = {
+            "join": "inner",
+            "ljoin": "left_outer",
+            "rjoin": "right_outer",
+            "fjoin": "full_outer",
+            "ajoin": "anti",
+        }
+        if token.kind in ("ljoin", "rjoin", "fjoin", "ajoin", "join"):
+            self._advance()
+            return symbols[token.kind]
+        words = {"left": "left_outer", "right_kw": "right_outer", "full": "full_outer"}
+        if token.kind in words:
+            self._advance()
+            if self._peek().kind == "outer":
+                self._advance()
+            if self._advance().kind != "join":
+                raise QueryParseError(
+                    f"expected JOIN after {token.text!r} in join operator"
+                )
+            return words[token.kind]
+        if token.kind == "anti":
+            self._advance()
+            if self._advance().kind != "join":
+                raise QueryParseError("expected JOIN after ANTI in join operator")
+            return "anti"
+        return None
+
+    def _on_clause(self) -> Optional[tuple[str, ...]]:
+        """``ON a, b`` or ``ON (a, b)`` — explicit join attributes."""
+        if self._peek().kind != "on":
+            return None
+        self._advance()
+        parenthesized = self._peek().kind == "lpar"
+        if parenthesized:
+            self._advance()
+        names = [self._attribute_name()]
+        while self._peek().kind == "comma":
+            self._advance()
+            names.append(self._attribute_name())
+        if parenthesized and self._advance().kind != "rpar":
+            raise QueryParseError("missing closing parenthesis in ON clause")
+        return tuple(names)
+
+    def _attribute_name(self) -> str:
+        token = self._advance()
+        if token.kind != "name" and token.kind not in _KEYWORD_KINDS:
+            raise QueryParseError(
+                f"ON clause expects an attribute name, got {token.text!r}"
+            )
+        return token.text
 
     def _atom(self) -> QueryNode:
         token = self._advance()
@@ -106,7 +194,11 @@ class _Parser:
             closing = self._advance()
             if closing.kind != "rpar":
                 raise QueryParseError("missing closing parenthesis")
-        elif token.kind == "name":
+        elif token.kind == "name" or token.kind in _KEYWORD_KINDS:
+            # Join keywords are not reserved as relation names: a
+            # catalog relation called "left" or "on" stays referencable
+            # (the join operator position is unambiguous — it follows a
+            # complete atom).
             node = RelationRef(token.text)
         else:
             raise QueryParseError(f"unexpected token {token.text!r}")
@@ -118,7 +210,7 @@ class _Parser:
     def _selection(self, child: QueryNode) -> SelectionNode:
         self._advance()  # consume '['
         attribute = self._advance()
-        if attribute.kind != "name":
+        if attribute.kind != "name" and attribute.kind not in _KEYWORD_KINDS:
             raise QueryParseError(
                 f"selection expects an attribute name, got {attribute.text!r}"
             )
@@ -141,7 +233,8 @@ class _Parser:
                 raise QueryParseError("expected a number after '-' in selection")
             value = _to_number(follow.text)
             return -value
-        if token.kind == "name":  # bare-word string value
+        if token.kind == "name" or token.kind in _KEYWORD_KINDS:
+            # Bare-word string value; join keywords are not reserved here.
             return token.text
         raise QueryParseError(f"bad selection value {token.text!r}")
 

@@ -14,14 +14,15 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..baselines.interface import SetOpAlgorithm
-from ..baselines.registry import get_algorithm
+from ..baselines.registry import JoinAlgorithm, get_algorithm, get_join_algorithm
 from ..core.errors import UnsupportedOperationError
-from .ast import QueryNode, RelationRef, SelectionNode, SetOpNode
+from .ast import JoinNode, QueryNode, RelationRef, SelectionNode, SetOpNode
 
 __all__ = [
     "ScanPlan",
     "SelectPlan",
     "SetOpPlan",
+    "JoinPlan",
     "MultiSetOpPlan",
     "PhysicalPlan",
     "plan_query",
@@ -72,6 +73,26 @@ class SelectPlan:
 
 
 @dataclass(frozen=True, slots=True)
+class JoinPlan:
+    """Physical TP join bound to a join algorithm."""
+
+    kind: str
+    on: Optional[tuple[str, ...]]
+    algorithm: JoinAlgorithm
+    left: "PhysicalPlan"
+    right: "PhysicalPlan"
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        label = "".join(part.capitalize() for part in self.kind.split("_"))
+        on_text = "" if self.on is None else " on(" + ", ".join(self.on) + ")"
+        lines = [f"{pad}{label}Join[{self.algorithm.name}]{on_text}"]
+        lines.append(self.left.describe(indent + 2))
+        lines.append(self.right.describe(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
 class MultiSetOpPlan:
     """n-ary union/intersection executed by the single-pass multiway sweep."""
 
@@ -85,7 +106,7 @@ class MultiSetOpPlan:
         return "\n".join(lines)
 
 
-PhysicalPlan = Union[ScanPlan, SelectPlan, SetOpPlan, MultiSetOpPlan]
+PhysicalPlan = Union[ScanPlan, SelectPlan, SetOpPlan, JoinPlan, MultiSetOpPlan]
 
 
 def plan_query(
@@ -93,23 +114,32 @@ def plan_query(
     *,
     algorithm: Union[str, SetOpAlgorithm, None] = None,
     per_op_algorithms: Optional[dict] = None,
+    join_algorithm: Union[str, JoinAlgorithm, None] = None,
 ) -> PhysicalPlan:
     """Bind every operator of the query to a physical algorithm.
 
     Parameters
     ----------
     algorithm:
-        Default algorithm (name or instance) for every operator;
-        ``None`` selects LAWA.
+        Default set-operation algorithm (name or instance) for every
+        operator; ``None`` selects LAWA.
     per_op_algorithms:
         Optional overrides per logical operator, e.g.
         ``{"intersect": "OIP"}`` — must still support the operation.
+    join_algorithm:
+        Algorithm (name or instance) for every join node; ``None``
+        selects the generalized-window kernel (GTWINDOW).
     """
     default = _resolve(algorithm) if algorithm is not None else get_algorithm("LAWA")
     overrides = {
         op: _resolve(spec) for op, spec in (per_op_algorithms or {}).items()
     }
-    return _lower(query, default, overrides)
+    join_default = (
+        _resolve_join(join_algorithm)
+        if join_algorithm is not None
+        else get_join_algorithm("GTWINDOW")
+    )
+    return _lower(query, default, overrides, join_default)
 
 
 def _resolve(spec: Union[str, SetOpAlgorithm]) -> SetOpAlgorithm:
@@ -118,10 +148,17 @@ def _resolve(spec: Union[str, SetOpAlgorithm]) -> SetOpAlgorithm:
     return get_algorithm(spec)
 
 
+def _resolve_join(spec: Union[str, JoinAlgorithm]) -> JoinAlgorithm:
+    if isinstance(spec, JoinAlgorithm):
+        return spec
+    return get_join_algorithm(spec)
+
+
 def _lower(
     query,
     default: SetOpAlgorithm,
     overrides: dict,
+    join_default: JoinAlgorithm,
 ) -> PhysicalPlan:
     from .optimize import MultiOpNode
 
@@ -131,14 +168,23 @@ def _lower(
         return SelectPlan(
             attribute=query.attribute,
             value=query.value,
-            child=_lower(query.child, default, overrides),
+            child=_lower(query.child, default, overrides, join_default),
         )
     if isinstance(query, MultiOpNode):
         return MultiSetOpPlan(
             op=query.op,
             children=tuple(
-                _lower(child, default, overrides) for child in query.children
+                _lower(child, default, overrides, join_default)
+                for child in query.children
             ),
+        )
+    if isinstance(query, JoinNode):
+        return JoinPlan(
+            kind=query.kind,
+            on=query.on,
+            algorithm=join_default,
+            left=_lower(query.left, default, overrides, join_default),
+            right=_lower(query.right, default, overrides, join_default),
         )
     assert isinstance(query, SetOpNode)
     algorithm = overrides.get(query.op, default)
@@ -150,6 +196,6 @@ def _lower(
     return SetOpPlan(
         op=query.op,
         algorithm=algorithm,
-        left=_lower(query.left, default, overrides),
-        right=_lower(query.right, default, overrides),
+        left=_lower(query.left, default, overrides, join_default),
+        right=_lower(query.right, default, overrides, join_default),
     )

@@ -1,6 +1,11 @@
 """Reference semantics: snapshot oracle, possible worlds, property checks."""
 
-from .possible_worlds import marginal_via_worlds, world_probability, worlds
+from .possible_worlds import (
+    join_marginal_via_worlds,
+    marginal_via_worlds,
+    world_probability,
+    worlds,
+)
 from .properties import (
     check_change_preservation,
     check_duplicate_free,
@@ -17,6 +22,7 @@ __all__ = [
     "check_change_preservation",
     "check_duplicate_free",
     "check_snapshot_reducibility",
+    "join_marginal_via_worlds",
     "marginal_via_worlds",
     "snapshot_except",
     "snapshot_intersect",

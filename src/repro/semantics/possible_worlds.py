@@ -22,7 +22,12 @@ from ..core.relation import TPRelation
 from ..core.schema import Fact
 from ..lineage.formula import Var
 
-__all__ = ["worlds", "world_probability", "marginal_via_worlds"]
+__all__ = [
+    "worlds",
+    "world_probability",
+    "marginal_via_worlds",
+    "join_marginal_via_worlds",
+]
 
 
 def worlds(event_names: Iterable[str]) -> Iterator[dict[str, bool]]:
@@ -83,5 +88,75 @@ def marginal_via_worlds(
         else:
             raise ValueError(f"unknown operation {op!r}")
         if holds:
+            total += world_probability(world, events)
+    return total
+
+
+# ----------------------------------------------------------------------
+# generalized joins (outer & anti) against brute-force enumeration
+# ----------------------------------------------------------------------
+def _facts_at(relation: TPRelation, t: int, world: Mapping[str, bool]) -> set[Fact]:
+    """The deterministic snapshot of r at time t in one world."""
+    present: set[Fact] = set()
+    for u in relation:
+        if u.interval.contains_point(t):
+            assert isinstance(u.lineage, Var), "world oracle needs base relations"
+            if world[u.lineage.name]:
+                present.add(u.fact)
+    return present
+
+
+def _world_join_facts(kind, layout, r_facts: set, s_facts: set) -> set:
+    """Deterministic join of two snapshot fact sets, per the usual
+    (set-semantics) definition of inner/outer/anti joins."""
+    out: set = set()
+    if kind == "anti":
+        s_keys = {layout.key_of_right(sf) for sf in s_facts}
+        return {lf for lf in r_facts if layout.key_of_left(lf) not in s_keys}
+    for lf in r_facts:
+        key = layout.key_of_left(lf)
+        matches = [sf for sf in s_facts if layout.key_of_right(sf) == key]
+        for sf in matches:
+            out.add(layout.matched_fact(lf, sf))
+        if kind in ("left_outer", "full_outer") and not matches:
+            out.add(layout.left_fact(lf))
+    if kind in ("right_outer", "full_outer"):
+        r_keys = {layout.key_of_left(lf) for lf in r_facts}
+        for sf in s_facts:
+            if layout.key_of_right(sf) not in r_keys:
+                out.add(layout.right_fact(sf))
+    return out
+
+
+def join_marginal_via_worlds(
+    kind: str,
+    r: TPRelation,
+    s: TPRelation,
+    on,
+    fact: Fact,
+    t: int,
+) -> float:
+    """P(fact ∈ (r <kind> s) at time t) by brute-force world enumeration.
+
+    ``kind`` names a join variant ('inner', 'left_outer', 'right_outer',
+    'full_outer', 'anti'); r and s must be base relations (atomic
+    lineage).  In each world the deterministic set-semantics join of the
+    two snapshots is computed directly — matched rows for key-matching
+    pairs, null-padded rows for partner-less tuples of a preserved side
+    — and the marginal is the total probability of the worlds whose
+    result contains ``fact``.  Degenerate layouts need no special
+    casing: when matched and preserved facts coincide, set semantics
+    collapses them, exactly as the lineage-level implementations merge
+    their lineages.
+    """
+    from ..algebra.join import join_layout
+
+    layout = join_layout(kind, r, s, on)
+    events = {**r.events, **s.events}
+    total = 0.0
+    for world in worlds(events):
+        r_facts = _facts_at(r, t, world)
+        s_facts = _facts_at(s, t, world)
+        if fact in _world_join_facts(kind, layout, r_facts, s_facts):
             total += world_probability(world, events)
     return total

@@ -8,6 +8,9 @@ from repro import Interval, TPRelation, TPSchema, base_tuple
 
 FACT_POOL = [("x",), ("y",), ("z",)]
 
+#: Fact pools for join-shaped relations: (key, rest) combinations.
+JOIN_KEY_POOL = ["k1", "k2"]
+
 
 @st.composite
 def disjoint_intervals(draw, max_intervals: int = 5, max_len: int = 5, max_gap: int = 4):
@@ -53,3 +56,57 @@ def tp_relation(
 def tp_relation_pair(draw, **kwargs):
     """Two independent duplicate-free relations over the same schema."""
     return draw(tp_relation("r", **kwargs)), draw(tp_relation("s", **kwargs))
+
+
+@st.composite
+def tp_join_relation(
+    draw,
+    name: str,
+    attributes: tuple[str, ...],
+    rest_pool: list,
+    max_facts: int = 3,
+    max_intervals: int = 2,
+    max_len: int = 4,
+    max_gap: int = 3,
+):
+    """A duplicate-free relation shaped for join tests.
+
+    Facts combine a join key from :data:`JOIN_KEY_POOL` with a rest value
+    from ``rest_pool`` (or are key-only for degenerate-layout tests, when
+    ``rest_pool`` is empty).  Different facts may overlap in time — the
+    concurrency the generalized windows must handle — while same-fact
+    chains stay disjoint (duplicate-freeness).
+    """
+    candidates = (
+        [(k,) for k in JOIN_KEY_POOL]
+        if not rest_pool
+        else [(k, v) for k in JOIN_KEY_POOL for v in rest_pool]
+    )
+    n_facts = draw(st.integers(min_value=0, max_value=min(max_facts, len(candidates))))
+    facts = candidates[:n_facts]
+    tuples = []
+    events = {}
+    counter = 0
+    for fact in facts:
+        for interval in draw(
+            disjoint_intervals(max_intervals=max_intervals, max_len=max_len, max_gap=max_gap)
+        ):
+            counter += 1
+            identifier = f"{name}{counter}"
+            p = draw(st.floats(min_value=0.05, max_value=0.95, allow_nan=False))
+            tuples.append(base_tuple(fact, identifier, interval, p))
+            events[identifier] = p
+    return TPRelation(name, TPSchema(attributes), tuples, events)
+
+
+@st.composite
+def tp_join_pair(draw, s_rest: bool = True, **kwargs):
+    """An (r, s) pair over ("k", "a") and ("k", "b") sharing key pool.
+
+    ``s_rest=False`` makes the right side key-only — the degenerate
+    layout in which outer-join matched and preserved facts coincide.
+    """
+    r = draw(tp_join_relation("r", ("k", "a"), ["a1", "a2"], **kwargs))
+    s_attrs = ("k", "b") if s_rest else ("k",)
+    s = draw(tp_join_relation("s", s_attrs, ["b1", "b2"] if s_rest else [], **kwargs))
+    return r, s

@@ -12,7 +12,7 @@ from hypothesis import given, settings
 
 from repro import SchemaMismatchError, TPRelation
 from repro.algebra import tp_join, tp_project
-from repro.lineage import is_one_occurrence_form, variables
+from repro.lineage import is_one_occurrence_form
 from repro.semantics import check_change_preservation, check_duplicate_free
 
 from .strategies import tp_relation

@@ -15,7 +15,6 @@ from repro.baselines import (
     SweeplineAlgorithm,
     TimelineIndexAlgorithm,
     TpdbAlgorithm,
-    all_algorithms,
 )
 from repro.baselines.columnar_algorithm import ColumnarAlgorithm
 from repro.semantics import (

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.baselines import LawaAlgorithm, get_algorithm
 from repro.bench import (

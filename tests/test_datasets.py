@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import DuplicateFactError, TPRelation
+from repro import TPRelation
 from repro.datasets import (
     TABLE_III_CONFIGS,
     MeteoConfig,

@@ -1,0 +1,299 @@
+"""Correctness of the generalized-window joins (outer & anti).
+
+Three layers of ground truth:
+
+1. the **naive sweepline baseline** (`repro.baselines.naive_join`) — an
+   independent elementary-segment implementation the kernel must match
+   tuple-for-tuple (facts, intervals, syntactic lineage, probabilities);
+2. **possible-worlds enumeration** — at sampled time points, every
+   output probability must equal the summed probability of the worlds
+   whose deterministic snapshot join contains the fact, and absent
+   (fact, point) combinations must have zero marginal;
+3. **algebraic identities** — anti join on all attributes coincides with
+   −ᵀᵖ, degenerate layouts collapse to projections/union.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import (
+    TPRelation,
+    tp_anti_join,
+    tp_except,
+    tp_full_outer_join,
+    tp_join,
+    tp_join_operation,
+    tp_left_outer_join,
+    tp_right_outer_join,
+    tp_union,
+)
+from repro.algebra.join import JOIN_KINDS, _disambiguate
+from repro.baselines import get_join_algorithm, naive_join_operation
+from repro.core.errors import UnsupportedOperationError
+from repro.core.sorting import null_safe_key
+from repro.lineage import is_one_occurrence_form
+from repro.semantics import join_marginal_via_worlds
+
+from .strategies import tp_join_pair, tp_relation_pair
+
+KINDS = sorted(JOIN_KINDS)
+
+relaxed = settings(
+    max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None
+)
+
+
+def _rows(relation: TPRelation) -> list[tuple]:
+    return [
+        (t.fact, t.start, t.end, str(t.lineage), None if t.p is None else round(t.p, 9))
+        for t in sorted(relation, key=null_safe_key)
+    ]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestAgainstNaiveBaseline:
+    @relaxed
+    @given(pair=tp_join_pair())
+    def test_matches_naive_sweepline(self, kind, pair):
+        r, s = pair
+        kernel = tp_join_operation(kind, r, s, on=("k",))
+        naive = naive_join_operation(kind, r, s, on=("k",))
+        assert _rows(kernel) == _rows(naive)
+        assert kernel.schema.attributes == naive.schema.attributes
+
+    @relaxed
+    @given(pair=tp_join_pair(s_rest=False))
+    def test_matches_naive_on_degenerate_right_side(self, kind, pair):
+        """The right side is key-only: matched and preserved facts
+        coincide and the layouts must collapse identically."""
+        r, s = pair
+        kernel = tp_join_operation(kind, r, s, on=("k",))
+        naive = naive_join_operation(kind, r, s, on=("k",))
+        assert _rows(kernel) == _rows(naive)
+
+    @relaxed
+    @given(pair=tp_join_pair())
+    def test_output_duplicate_free_and_change_preserved(self, kind, pair):
+        r, s = pair
+        result = tp_join_operation(kind, r, s, on=("k",))
+        ordered = sorted(result, key=null_safe_key)
+        for prev, curr in zip(ordered, ordered[1:]):
+            if prev.fact != curr.fact:
+                continue
+            assert curr.start >= prev.end, "output not duplicate-free"
+            if curr.start == prev.end:
+                assert curr.lineage is not prev.lineage, "intervals not maximal"
+
+    @relaxed
+    @given(pair=tp_join_pair())
+    def test_lineage_in_1of(self, kind, pair):
+        """One join over base relations keeps lineage in 1OF — matched
+        pairs and negated disjunctions never repeat a variable."""
+        r, s = pair
+        for t in tp_join_operation(kind, r, s, on=("k",)):
+            assert is_one_occurrence_form(t.lineage)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+class TestPossibleWorlds:
+    @settings(max_examples=25, deadline=None)
+    @given(pair=tp_join_pair(max_facts=2, max_intervals=1))
+    def test_probabilities_match_world_enumeration(self, kind, pair):
+        r, s = pair
+        if len(r.events) + len(s.events) > 8:
+            return  # keep 2^n enumeration cheap
+        result = tp_join_operation(kind, r, s, on=("k",))
+        for t in result:
+            for point in (t.start, t.end - 1):
+                expected = join_marginal_via_worlds(kind, r, s, ("k",), t.fact, point)
+                assert t.p == pytest.approx(expected, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=tp_join_pair(max_facts=2, max_intervals=1))
+    def test_absent_points_have_zero_marginal(self, kind, pair):
+        r, s = pair
+        if len(r.events) + len(s.events) > 8:
+            return
+        result = tp_join_operation(kind, r, s, on=("k",))
+        span_points = set()
+        for u in list(r) + list(s):
+            span_points.update(range(u.start, u.end))
+        present = {
+            (u.fact, point) for u in result for point in range(u.start, u.end)
+        }
+        for fact in {u.fact for u in result}:
+            for point in span_points:
+                if (fact, point) not in present:
+                    assert join_marginal_via_worlds(
+                        kind, r, s, ("k",), fact, point
+                    ) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAlgebraicIdentities:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=tp_relation_pair())
+    def test_anti_join_on_all_attributes_is_except(self, pair):
+        """▷ᵀᵖ over the full schema coincides with −ᵀᵖ (both emit
+        andNot lineage over the same window structure)."""
+        r, s = pair
+        anti = tp_anti_join(r, s, on=("fact",))
+        diff = tp_except(r, s)
+        assert anti.equivalent_to(diff)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=tp_join_pair())
+    def test_left_outer_covers_left_exactly(self, pair):
+        """Every left point survives in a left outer join, and no
+        right-only point appears."""
+        r, s = pair
+        result = tp_left_outer_join(r, s, on=("k",))
+        left_points = {(t.fact, p) for t in r for p in range(t.start, t.end)}
+        out_points = {
+            (t.fact[:2], p) for t in result for p in range(t.start, t.end)
+        }
+        assert out_points == left_points
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=tp_join_pair())
+    def test_full_outer_mirror_symmetry(self, pair):
+        """r ⟗ s and s ⟗ r cover the same (key, time) points."""
+        r, s = pair
+        forward = tp_full_outer_join(r, s, on=("k",))
+        backward = tp_full_outer_join(s, r, on=("k",))
+        fwd = {(t.fact[0], p) for t in forward for p in range(t.start, t.end)}
+        bwd = {(t.fact[0], p) for t in backward for p in range(t.start, t.end)}
+        assert fwd == bwd
+
+
+class TestEdgeCases:
+    def _r(self):
+        return TPRelation.from_rows(
+            "r", ("k", "a"), [("k1", "x", 0, 5, 0.5), ("k2", "y", 2, 6, 0.4)]
+        )
+
+    def _empty(self, attributes):
+        from repro import TPSchema
+
+        return TPRelation("e", TPSchema(attributes), [], {})
+
+    def test_left_outer_with_empty_right_preserves_all(self):
+        r = self._r()
+        result = tp_left_outer_join(r, self._empty(("k", "b")), on=("k",))
+        assert _rows(result) == [
+            (("k1", "x", None), 0, 5, "r1", 0.5),
+            (("k2", "y", None), 2, 6, "r2", 0.4),
+        ]
+
+    def test_anti_with_empty_right_is_left(self):
+        r = self._r()
+        result = tp_anti_join(r, self._empty(("k", "b")), on=("k",))
+        assert result.equivalent_to(r)
+
+    def test_inner_with_empty_side_is_empty(self):
+        r = self._r()
+        assert len(tp_join(r, self._empty(("k", "b")), on=("k",))) == 0
+        assert len(tp_join(self._empty(("k", "b")), r, on=("k",))) == 0
+
+    def test_full_outer_with_empty_left_preserves_right(self):
+        s = TPRelation.from_rows("s", ("k", "b"), [("k1", 7, 1, 4, 0.8)])
+        result = tp_full_outer_join(self._empty(("k", "a")), s, on=("k",))
+        assert _rows(result) == [(("k1", None, 7), 1, 4, "s1", 0.8)]
+
+    def test_fully_overlapping_pair(self):
+        """Identical intervals: the preserved window covers the whole
+        tuple with the partner's negated lineage."""
+        r = TPRelation.from_rows("r", ("k", "a"), [("k1", "x", 0, 4, 0.5)])
+        s = TPRelation.from_rows("s", ("k", "b"), [("k1", 9, 0, 4, 0.25)])
+        result = tp_left_outer_join(r, s, on=("k",))
+        assert _rows(result) == [
+            (("k1", "x", 9), 0, 4, "r1∧s1", 0.125),
+            (("k1", "x", None), 0, 4, "r1∧¬s1", 0.375),
+        ]
+
+    def test_anti_join_fully_overlapping_is_negation(self):
+        r = TPRelation.from_rows("r", ("k", "a"), [("k1", "x", 0, 4, 0.5)])
+        s = TPRelation.from_rows("s", ("k", "b"), [("k1", 9, 0, 4, 0.25)])
+        result = tp_anti_join(r, s, on=("k",))
+        assert _rows(result) == [(("k1", "x"), 0, 4, "r1∧¬s1", 0.375)]
+
+    def test_concurrent_matches_negate_disjunction(self):
+        """Two right tuples valid at once: ¬(s1∨s2) in one window."""
+        r = TPRelation.from_rows("r", ("k", "a"), [("k1", "x", 0, 4, 0.5)])
+        s = TPRelation.from_rows(
+            "s", ("k", "b"), [("k1", 1, 0, 4, 0.5), ("k1", 2, 0, 4, 0.5)]
+        )
+        result = tp_anti_join(r, s, on=("k",))
+        assert _rows(result) == [(("k1", "x"), 0, 4, "r1∧¬(s1∨s2)", 0.125)]
+
+
+class TestDegenerateLayouts:
+    def test_left_outer_against_key_only_right_is_left(self):
+        r = TPRelation.from_rows("r", ("k", "a"), [("k1", "x", 0, 5, 0.5)])
+        s = TPRelation.from_rows("s", ("k",), [("k1", 2, 4, 0.8)])
+        result = tp_left_outer_join(r, s, on=("k",))
+        assert result.schema.attributes == ("k", "a")
+        assert result.equivalent_to(r)
+
+    def test_right_outer_of_key_only_left_is_right_projection(self):
+        r = TPRelation.from_rows("r", ("k",), [("k1", 0, 2, 0.5)])
+        s = TPRelation.from_rows("s", ("k", "b"), [("k1", 7, 1, 4, 0.8)])
+        result = tp_right_outer_join(r, s, on=("k",))
+        assert result.schema.attributes == ("k", "b")
+        assert _rows(result) == [(("k1", 7), 1, 4, "s1", 0.8)]
+
+    def test_full_outer_of_key_only_sides_is_union(self):
+        r = TPRelation.from_rows("r", ("k",), [("k1", 0, 3, 0.5)])
+        s = TPRelation.from_rows("s", ("k",), [("k1", 2, 5, 0.8)])
+        result = tp_full_outer_join(r, s, on=("k",))
+        assert result.equivalent_to(tp_union(r, s))
+
+
+class TestDisambiguate:
+    def test_three_way_collision(self):
+        assert _disambiguate(("a", "a", "a")) == ("a", "a_2", "a_3")
+
+    def test_collision_with_literal_suffix_name(self):
+        """A generated suffix must never shadow a literal attribute."""
+        assert _disambiguate(("a", "a_2", "a")) == ("a", "a_2", "a_3")
+        assert _disambiguate(("a", "a", "a_2")) == ("a", "a_3", "a_2")
+
+    def test_four_way_collision_deterministic(self):
+        assert _disambiguate(("x", "x", "x", "x")) == ("x", "x_2", "x_3", "x_4")
+
+    def test_no_collision_is_identity(self):
+        assert _disambiguate(("a", "b", "c")) == ("a", "b", "c")
+
+    def test_join_schema_with_triple_name_clash(self):
+        r = TPRelation.from_rows(
+            "r", ("item", "price", "price_2"), [("milk", 1, 2, 1, 5, 0.5)]
+        )
+        s = TPRelation.from_rows(
+            "s", ("item", "price"), [("milk", 3, 3, 8, 0.5)]
+        )
+        result = tp_join(r, s, on=("item",))
+        assert result.schema.attributes == ("item", "price", "price_2", "price_3")
+
+
+class TestJoinRegistry:
+    def test_kernel_and_naive_registered(self):
+        assert get_join_algorithm("GTWINDOW").name == "GTWINDOW"
+        assert get_join_algorithm("naive-sweep").name == "NAIVE-SWEEP"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            get_join_algorithm("GHOST")
+
+    def test_unknown_kind_rejected(self):
+        r = TPRelation.from_rows("r", ("k",), [("k1", 0, 2, 0.5)])
+        with pytest.raises(UnsupportedOperationError):
+            tp_join_operation("semi", r, r)
+
+    def test_algorithms_agree_through_registry(self):
+        r = TPRelation.from_rows("r", ("k", "a"), [("k1", "x", 0, 5, 0.5)])
+        s = TPRelation.from_rows("s", ("k", "b"), [("k1", 7, 2, 8, 0.8)])
+        for kind in KINDS:
+            kernel = get_join_algorithm("GTWINDOW").compute(kind, r, s, on=("k",))
+            naive = get_join_algorithm("NAIVE-SWEEP").compute(kind, r, s, on=("k",))
+            assert _rows(kernel) == _rows(naive)

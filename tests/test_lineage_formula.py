@@ -10,7 +10,6 @@ from repro.lineage import (
     FALSE,
     TRUE,
     And,
-    Not,
     Or,
     Var,
     evaluate,
