@@ -10,7 +10,16 @@ process, so it is stable —
 * PR 1: fused kernel vs. unfused LawaSweep reference
   (``fused.min_s / unfused.min_s`` per workload/operation);
 * PR 2: generalized-window join kernel vs. naive sweepline
-  (``gtwindow.min_s / naive.min_s`` per workload/kind).
+  (``gtwindow.min_s / naive.min_s`` per workload/kind);
+* PR 3: incremental view refresh vs. full recompute.  Unlike the
+  kernel/reference pairs above, this ratio is *scale-dependent* (the
+  incremental advantage grows with relation size, so a smoke ratio is
+  systematically worse than the committed full-scale one); the gate is
+  therefore an absolute floor — the smoke run's
+  ``recompute.min_s / incremental.min_s`` speedup must stay above
+  ``--pr3-min-speedup`` on every workload.  The committed full-scale
+  record's ≥5x acceptance bar is asserted by ``bench_pr3.py`` itself at
+  scale 1.0.
 
 The job fails when a smoke ratio exceeds ``tolerance`` times the
 committed ratio — i.e. the kernel lost more than that factor against
@@ -22,7 +31,8 @@ Run (as CI does)::
 
     python benchmarks/check_regression.py \
         --pr1-committed BENCH_pr1.json --pr1-smoke BENCH_pr1.smoke.json \
-        --pr2-committed BENCH_pr2.json --pr2-smoke BENCH_pr2.smoke.json
+        --pr2-committed BENCH_pr2.json --pr2-smoke BENCH_pr2.smoke.json \
+        --pr3-committed BENCH_pr3.json --pr3-smoke BENCH_pr3.smoke.json
 """
 
 from __future__ import annotations
@@ -44,6 +54,44 @@ def _ratio(entry: dict, fast: str, reference: str, min_seconds: float):
     if fast_s < min_seconds or ref_s < min_seconds:
         return None
     return fast_s / ref_s
+
+
+def check_speedup_floor(
+    committed: dict,
+    smoke: dict,
+    fast: str,
+    reference: str,
+    min_speedup: float,
+    min_seconds: float,
+    label: str,
+) -> list[str]:
+    """Absolute gate: reference/fast speedup must stay above a floor.
+
+    Iterates the *committed* record's workloads so a smoke run that
+    silently stopped emitting one cannot pass vacuously."""
+    failures: list[str] = []
+    for key in committed["timings"]:
+        entry = smoke["timings"].get(key)
+        if entry is None:
+            failures.append(f"{label} {key}: missing from the smoke run")
+            print(f"  {label} {key}: MISSING from smoke run")
+            continue
+        fast_s = entry[fast]["min_s"]
+        ref_s = entry[reference]["min_s"]
+        if fast_s < min_seconds and ref_s < min_seconds:
+            print(f"  {label} {key}: below {min_seconds}s — skipped (noise)")
+            continue
+        speedup = ref_s / fast_s if fast_s > 0 else float("inf")
+        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        print(
+            f"  {label} {key}: {reference}/{fast} speedup {speedup:.2f}x "
+            f"(floor {min_speedup}x) {verdict}"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"{label} {key}: speedup {speedup:.2f}x < floor {min_speedup}x"
+            )
+    return failures
 
 
 def check(
@@ -86,6 +134,9 @@ def main() -> int:
     parser.add_argument("--pr1-smoke", type=Path, required=True)
     parser.add_argument("--pr2-committed", type=Path, default=Path("BENCH_pr2.json"))
     parser.add_argument("--pr2-smoke", type=Path, required=True)
+    parser.add_argument("--pr3-committed", type=Path, default=Path("BENCH_pr3.json"))
+    parser.add_argument("--pr3-smoke", type=Path, default=None)
+    parser.add_argument("--pr3-min-speedup", type=float, default=3.0)
     parser.add_argument("--tolerance", type=float, default=1.5)
     parser.add_argument("--min-seconds", type=float, default=0.002)
     args = parser.parse_args()
@@ -111,6 +162,25 @@ def main() -> int:
         args.min_seconds,
         "pr2",
     )
+    if args.pr3_smoke is not None:
+        committed_pr3 = _load(args.pr3_committed)
+        committed_speedups = ", ".join(
+            f"{key} {entry.get('speedup_incremental', '?')}x"
+            for key, entry in committed_pr3["timings"].items()
+        )
+        print(
+            f"PR3 (incremental view refresh vs full recompute; "
+            f"committed full-scale: {committed_speedups}):"
+        )
+        failures += check_speedup_floor(
+            committed_pr3,
+            _load(args.pr3_smoke),
+            "incremental",
+            "recompute",
+            args.pr3_min_speedup,
+            args.min_seconds,
+            "pr3",
+        )
     if failures:
         print("\nbenchmark regressions detected:")
         for failure in failures:

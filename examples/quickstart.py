@@ -74,6 +74,7 @@ def main() -> None:
     )
 
     outer_join_example(db)
+    store_and_views_tour(db)
     performance_notes(db)
 
 
@@ -105,6 +106,41 @@ def outer_join_example(db) -> None:
 
     print("\n=== Anti join:  stock ▷ prices  (no price record at all) ===")
     print(db.query("stock ANTI JOIN prices ON product").to_table())
+
+
+def store_and_views_tour(db) -> None:
+    """Mutable storage and incremental views (DESIGN.md §9).
+
+    The supermarket keeps serving while data changes: the first
+    ``insert``/``delete`` turns a relation into a mutable
+    :class:`~repro.store.SegmentStore` (fact-partitioned, time-segmented,
+    batched transactions), and a materialized view keeps the paper's
+    query continuously answered — mutations mark dirty (fact, time-range)
+    regions, and a refresh re-sweeps only those regions, widened to
+    window boundaries, splicing the result into the cached output.
+    """
+    print("\n=== Mutable store: insert → deferred refresh → query ===")
+
+    # The paper's query as a continuously maintained view.  'deferred'
+    # (the default) refreshes on read; 'eager' refreshes on every write;
+    # 'manual' only on an explicit refresh().
+    view = db.create_view("q", "c - (a | b)", policy="deferred")
+    print(f"created {view!r}")
+
+    # A delivery arrives (stock c) and a client buys dates (a) — one
+    # batched transaction each.  Eager views would refresh right here.
+    db.insert("c", [("dates", 2, 6, 0.9)])
+    db.apply("a", inserts=[("dates", 4, 7, 0.5)], deletes=[("dates", 1, 3)])
+    print(f"after two transactions the view is stale: fresh={view.is_fresh()}")
+
+    # Reading the view triggers the deferred incremental refresh: only
+    # the dates region is re-swept, the milk/chips windows are reused
+    # (their materialized probabilities survive the splice untouched).
+    print(db.query("q").to_table())
+
+    # The planner reads fresh views instead of recomputing: the original
+    # query now plans as a single scan of q.
+    print(db.explain("c - (a | b)").splitlines()[1].strip(), "← plan of the raw query")
 
 
 def performance_notes(db) -> None:

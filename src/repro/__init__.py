@@ -115,13 +115,27 @@ from .prob import (
     probability_shannon,
     valuation_cache_stats,
 )
+from .store import (
+    ChangeSet,
+    Delta,
+    MaterializedView,
+    SegmentStore,
+    load_delta,
+    save_delta,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllenRelation",
     "And",
+    "ChangeSet",
+    "Delta",
     "DuplicateFactError",
+    "MaterializedView",
+    "SegmentStore",
+    "load_delta",
+    "save_delta",
     "StepFunction",
     "expected_count",
     "expected_sum",

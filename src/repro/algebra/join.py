@@ -60,6 +60,8 @@ __all__ = [
     "JOIN_SYMBOLS",
     "JoinLayout",
     "join_layout",
+    "join_layout_from_schemas",
+    "join_group_rows",
     "preserved_lineage",
     "tp_join",
     "tp_left_outer_join",
@@ -138,18 +140,29 @@ def join_layout(
     kind: str, r: TPRelation, s: TPRelation, on: Optional[Sequence[str]]
 ) -> JoinLayout:
     """Resolve join attributes and build the output-fact layout."""
-    join_attrs = _resolve_join_attributes(r, s, on)
-    r_key_idx = tuple(r.schema.index_of(a) for a in join_attrs)
-    s_key_idx = tuple(s.schema.index_of(a) for a in join_attrs)
-    r_rest_idx = tuple(i for i in range(r.schema.arity) if i not in r_key_idx)
+    return join_layout_from_schemas(kind, r.schema, s.schema, on)
+
+
+def join_layout_from_schemas(
+    kind: str, r_schema: TPSchema, s_schema: TPSchema, on: Optional[Sequence[str]]
+) -> JoinLayout:
+    """Schema-level :func:`join_layout` — no relations required.
+
+    Used by the incremental view maintenance of :mod:`repro.store`,
+    which knows its inputs' schemas before any tuples exist.
+    """
+    join_attrs = _resolve_join_attributes(r_schema, s_schema, on)
+    r_key_idx = tuple(r_schema.index_of(a) for a in join_attrs)
+    s_key_idx = tuple(s_schema.index_of(a) for a in join_attrs)
+    r_rest_idx = tuple(i for i in range(r_schema.arity) if i not in r_key_idx)
     s_rest_idx = tuple(
-        i for i, name in enumerate(s.schema.attributes) if name not in join_attrs
+        i for i, name in enumerate(s_schema.attributes) if name not in join_attrs
     )
     if kind == "anti":
-        out_schema = r.schema
+        out_schema = r_schema
     else:
-        out_attributes = tuple(r.schema.attributes) + tuple(
-            s.schema.attributes[i] for i in s_rest_idx
+        out_attributes = tuple(r_schema.attributes) + tuple(
+            s_schema.attributes[i] for i in s_rest_idx
         )
         out_schema = TPSchema(_disambiguate(out_attributes))
     return JoinLayout(
@@ -159,28 +172,28 @@ def join_layout(
         s_key_idx=s_key_idx,
         r_rest_idx=r_rest_idx,
         s_rest_idx=s_rest_idx,
-        r_arity=r.schema.arity,
+        r_arity=r_schema.arity,
         out_schema=out_schema,
     )
 
 
 def _resolve_join_attributes(
-    r: TPRelation, s: TPRelation, on: Optional[Sequence[str]]
+    r_schema: TPSchema, s_schema: TPSchema, on: Optional[Sequence[str]]
 ) -> tuple[str, ...]:
     if on is None:
         shared = tuple(
-            name for name in r.schema.attributes if name in s.schema.attributes
+            name for name in r_schema.attributes if name in s_schema.attributes
         )
         if not shared:
             raise SchemaMismatchError(
                 f"natural join needs shared attributes; "
-                f"{r.schema.attributes!r} vs {s.schema.attributes!r} share none"
+                f"{r_schema.attributes!r} vs {s_schema.attributes!r} share none"
             )
         return shared
     attrs = tuple(on)
     for name in attrs:
-        r.schema.index_of(name)
-        s.schema.index_of(name)
+        r_schema.index_of(name)
+        s_schema.index_of(name)
     if not attrs:
         raise SchemaMismatchError("join attribute list must not be empty")
     return attrs
@@ -473,44 +486,65 @@ def _sweep_rows(
     else:  # matches only: other groups cannot contribute
         keys = [k for k in r_groups if k in s_groups]
 
+    empty: tuple[TPTuple, ...] = ()
+    rows: list = []
+    for key in keys:
+        rows.extend(
+            join_group_rows(
+                layout, policy, r_groups.get(key, empty), s_groups.get(key, empty)
+            )
+        )
+    return rows
+
+
+def join_group_rows(
+    layout: JoinLayout,
+    policy: WindowPolicy,
+    group_l: Sequence[TPTuple],
+    group_s: Sequence[TPTuple],
+) -> list:
+    """Sweep one join-key group and assemble output rows.
+
+    ``group_l`` / ``group_s`` are the group's tuples in their relations'
+    ``(F, Ts)`` order.  Like :func:`repro.core.setops.sweep_rows`, this
+    is the per-group seam the incremental view maintenance re-sweeps
+    dirty regions through: returned rows ``(fact, λ, winTs, winTe)`` are
+    exactly what :func:`tp_join_operation` emits before materialization.
+    """
     matched_fact = layout.matched_fact
     left_fact = layout.left_fact
     right_fact = layout.right_fact
     rows: list = []
     append = rows.append
-    empty: tuple[TPTuple, ...] = ()
     match_window = MatchWindow
-    for key in keys:
-        group_l = r_groups.get(key, empty)
-        group_s = s_groups.get(key, empty)
-        for w in generalized_windows(group_l, group_s, policy):
-            if type(w) is match_window:
-                append(
-                    (
-                        matched_fact(w.left.fact, w.right.fact),
-                        land(w.left.lineage, w.right.lineage),
-                        w.win_ts,
-                        w.win_te,
-                    )
+    for w in generalized_windows(group_l, group_s, policy):
+        if type(w) is match_window:
+            append(
+                (
+                    matched_fact(w.left.fact, w.right.fact),
+                    land(w.left.lineage, w.right.lineage),
+                    w.win_ts,
+                    w.win_te,
                 )
-            elif w.side == LEFT:
-                append(
-                    (
-                        left_fact(w.tuple.fact),
-                        preserved_lineage(w.tuple.lineage, w.others),
-                        w.win_ts,
-                        w.win_te,
-                    )
+            )
+        elif w.side == LEFT:
+            append(
+                (
+                    left_fact(w.tuple.fact),
+                    preserved_lineage(w.tuple.lineage, w.others),
+                    w.win_ts,
+                    w.win_te,
                 )
-            else:
-                append(
-                    (
-                        right_fact(w.tuple.fact),
-                        preserved_lineage(w.tuple.lineage, w.others),
-                        w.win_ts,
-                        w.win_te,
-                    )
+            )
+        else:
+            append(
+                (
+                    right_fact(w.tuple.fact),
+                    preserved_lineage(w.tuple.lineage, w.others),
+                    w.win_ts,
+                    w.win_te,
                 )
+            )
     return rows
 
 

@@ -11,10 +11,12 @@ from .registry import (
     all_algorithms,
     get_algorithm,
     get_join_algorithm,
+    get_view_maintenance_strategy,
     join_algorithms,
     paper_algorithms,
     render_support_matrix,
     support_matrix,
+    view_maintenance_strategies,
 )
 from .sweepline import SweeplineAlgorithm
 from .timeline import TimelineIndex, TimelineIndexAlgorithm
@@ -38,10 +40,12 @@ __all__ = [
     "all_algorithms",
     "get_algorithm",
     "get_join_algorithm",
+    "get_view_maintenance_strategy",
     "join_algorithms",
     "naive_join_operation",
     "normalize",
     "paper_algorithms",
     "render_support_matrix",
     "support_matrix",
+    "view_maintenance_strategies",
 ]

@@ -38,6 +38,8 @@ __all__ = [
     "render_support_matrix",
     "join_algorithms",
     "get_join_algorithm",
+    "view_maintenance_strategies",
+    "get_view_maintenance_strategy",
 ]
 
 #: Table II order: LAWA, NORM, TPDB, OIP, TI.
@@ -135,6 +137,29 @@ def get_join_algorithm(name: str) -> JoinAlgorithm:
         if algorithm.name.lower() == name.lower():
             return algorithm
     raise UnsupportedOperationError(f"no join algorithm named {name!r}")
+
+
+# ----------------------------------------------------------------------
+# view maintenance (repro.store)
+# ----------------------------------------------------------------------
+def view_maintenance_strategies():
+    """The view-maintenance strategies, registered beside the kernels.
+
+    Like GTWINDOW and its NAIVE-SWEEP reference, the INCREMENTAL
+    maintenance engine ships with a full-RECOMPUTE fallback it is
+    cross-checked against.  Imported lazily so the storage layer stays
+    optional for pure batch workloads (and the layering acyclic).
+    """
+    from ..store.maintenance import maintenance_strategies
+
+    return maintenance_strategies()
+
+
+def get_view_maintenance_strategy(name: str):
+    """Look a view-maintenance strategy up by name (case-insensitive)."""
+    from ..store.maintenance import get_maintenance_strategy
+
+    return get_maintenance_strategy(name)
 
 
 def render_support_matrix(*, paper_only: bool = True) -> str:

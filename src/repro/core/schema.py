@@ -18,7 +18,7 @@ from typing import Sequence
 
 from .errors import SchemaMismatchError
 
-__all__ = ["TPSchema", "Fact", "make_fact"]
+__all__ = ["TPSchema", "Fact", "make_fact", "coerce_value"]
 
 #: A fact is the tuple of conventional attribute values of a TP tuple.
 Fact = tuple
@@ -71,6 +71,22 @@ class TPSchema:
 
     def __str__(self) -> str:
         return "(" + ", ".join(self.attributes) + ", λ, T, p)"
+
+
+def coerce_value(value: str):
+    """Best-effort typing of a textual fact value: int, then float, then str.
+
+    Shared by every textual loader (relation CSVs, delta files) so fact
+    equality survives round trips — a delta row must coerce to exactly
+    the fact the relation loader produced, or deletes stop matching and
+    inserts create mixed-type shadow fact groups.
+    """
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
 
 
 def make_fact(values: Sequence[object]) -> Fact:

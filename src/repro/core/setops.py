@@ -48,9 +48,17 @@ from .sorting import sort_tuples
 from .tuple import TPTuple
 from .window import LineageWindow
 
-__all__ = ["tp_union", "tp_intersect", "tp_except", "tp_set_operation", "OPERATIONS"]
+__all__ = [
+    "tp_union",
+    "tp_intersect",
+    "tp_except",
+    "tp_set_operation",
+    "sweep_rows",
+    "OPERATIONS",
+]
 
 _OP_UNION, _OP_INTERSECT, _OP_EXCEPT = 0, 1, 2
+_OPCODES = {"union": _OP_UNION, "intersect": _OP_INTERSECT, "except": _OP_EXCEPT}
 
 # Trusted fast construction for kernel-emitted objects: the sweep
 # guarantees non-empty windows, so Interval's range validation and the
@@ -298,6 +306,27 @@ def _fused_sweep(
         prev_te = win_te
 
     return rows
+
+
+def sweep_rows(
+    tr: list[TPTuple], ts: list[TPTuple], op: str
+) -> list[tuple]:
+    """LAWA + λ-filter + λ-concat over two already-sorted tuple runs.
+
+    The public per-group seam of the fused kernel, consumed by the
+    incremental view maintenance of :mod:`repro.store`: windows are
+    determined purely locally by the ``(F, Ts)``-sorted neighborhood, so
+    a dirty region of a relation can be re-swept in isolation by feeding
+    only the tuples of that region.  Returns raw output rows
+    ``(fact, λ, winTs, winTe)`` — exactly what the full operators emit
+    before materialization, so splicing re-swept rows into a cached
+    result is lineage-identical to a full recompute.
+    """
+    try:
+        opcode = _OPCODES[op]
+    except KeyError as exc:
+        raise UnsupportedOperationError(f"unknown TP set operation {op!r}") from exc
+    return _fused_sweep(tr, ts, opcode)
 
 
 # ----------------------------------------------------------------------

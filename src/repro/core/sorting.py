@@ -29,11 +29,22 @@ __all__ = [
     "sort_tuples",
     "is_sorted",
     "null_safe_key",
+    "null_safe_fact_key",
 ]
 
 
 def _full_key(t: TPTuple) -> tuple:
     return (t.fact, t.interval.start, t.interval.end)
+
+
+def null_safe_fact_key(fact) -> tuple:
+    """The fact component of :func:`null_safe_key`.
+
+    The single definition of the null-safe fact ordering convention —
+    the batch join driver and the incremental view engine both sort by
+    it, so their outputs stay order-compatible.
+    """
+    return tuple((v is None, v) for v in fact)
 
 
 def null_safe_key(t: TPTuple) -> tuple:
@@ -45,7 +56,7 @@ def null_safe_key(t: TPTuple) -> tuple:
     coincides exactly with :func:`sort_comparison`'s plain key.
     """
     return (
-        tuple((v is None, v) for v in t.fact),
+        null_safe_fact_key(t.fact),
         t.interval.start,
         t.interval.end,
     )

@@ -6,10 +6,15 @@ Usage::
         --query "a - b"                      # print the result table
     python -m repro.db --load a=a.csv --explain "a | a"
     python -m repro.db --load a=a.csv --query "a | a" --out result.json
+    python -m repro.db --load a=a.csv --apply a=delta.csv --query "a | a"
 
 Relations load from CSV (``.csv``) or JSON (``.json``) as written by
 :mod:`repro.db.io`; the name before ``=`` is the catalog name used in
-queries.
+queries.  ``--apply name=delta.csv`` replays a delta file (insert and
+delete rows, see :mod:`repro.store.delta`) against a loaded relation
+before the query runs — the relation is converted to a mutable
+:class:`~repro.store.SegmentStore` and the batch applied as one
+transaction.
 """
 
 from __future__ import annotations
@@ -18,15 +23,20 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..store import load_delta
 from .database import TPDatabase
 from .io import load_csv, load_json, save_csv, save_json
 
 
-def _load_spec(db: TPDatabase, spec: str) -> None:
+def _split_spec(option: str, spec: str) -> tuple[str, Path]:
     name, _, path_text = spec.partition("=")
     if not path_text:
-        raise SystemExit(f"--load expects name=path, got {spec!r}")
-    path = Path(path_text)
+        raise SystemExit(f"{option} expects name=path, got {spec!r}")
+    return name, Path(path_text)
+
+
+def _load_spec(db: TPDatabase, spec: str) -> None:
+    name, path = _split_spec("--load", spec)
     if path.suffix == ".json":
         relation = load_json(path)
     elif path.suffix == ".csv":
@@ -34,6 +44,20 @@ def _load_spec(db: TPDatabase, spec: str) -> None:
     else:
         raise SystemExit(f"unsupported relation format {path.suffix!r}")
     db.register(relation.rename(name))
+
+
+def _apply_spec(db: TPDatabase, spec: str) -> None:
+    name, path = _split_spec("--apply", spec)
+    try:
+        attributes = db.relation(name).schema.attributes
+    except KeyError:
+        raise SystemExit(f"--apply {spec!r}: no loaded relation named {name!r}")
+    delta = load_delta(path, attributes)
+    changeset = db.apply_delta(name, delta)
+    print(
+        f"applied {path.name} to {name}: +{len(changeset.inserted)} "
+        f"-{len(changeset.deleted)} tuples (epoch {changeset.epoch})"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,6 +71,14 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         metavar="NAME=PATH",
         help="register a relation from a .csv or .json file (repeatable)",
+    )
+    parser.add_argument(
+        "--apply",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="apply a delta CSV (insert/delete rows) to a loaded relation "
+        "before the query runs (repeatable)",
     )
     parser.add_argument("--query", help="TP set query to evaluate, e.g. 'c - (a | b)'")
     parser.add_argument("--explain", help="show plan and safety analysis only")
@@ -65,6 +97,8 @@ def main(argv: list[str] | None = None) -> int:
     db = TPDatabase()
     for spec in args.load:
         _load_spec(db, spec)
+    for spec in args.apply:
+        _apply_spec(db, spec)
 
     if args.explain:
         print(db.explain(args.explain, algorithm=args.algorithm))

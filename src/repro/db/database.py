@@ -7,23 +7,68 @@ level of the paper's examples::
     db.create_relation("a", ("product",), [("milk", 2, 10, 0.3), ...])
     result = db.query("c - (a | b)")
     print(db.explain("c - (a | b)"))
+
+Mutability and views (the :mod:`repro.store` subsystem)::
+
+    db.insert("a", [("beer", 3, 8, 0.5)])        # converts a to a store
+    db.create_view("q", "c - (a | b)")           # incrementally maintained
+    db.query("q")                                 # reads the view
+    db.query("c - (a | b)")                       # planner reads q, too
+    db.delete("a", [("beer", 3, 8)])
+    db.refresh()                                  # deferred/manual views
+
+A relation becomes mutable on its first write: the immutable catalog
+entry is seeded into a :class:`~repro.store.SegmentStore`, and query
+scans read the store's epoch-cached snapshot from then on.  Views
+resolve by name like relations, and queries whose subtrees match a fresh
+view's definition are rewritten to read the maintained result instead of
+recomputing it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..baselines.interface import SetOpAlgorithm
+from ..core.errors import UnknownRelationError, UnsupportedOperationError
 from ..core.relation import TPRelation
 from ..query.analysis import QueryAnalysis, analyze
-from ..query.ast import QueryNode
+from ..query.ast import QueryNode, relation_references
 from ..query.executor import execute_plan
 from ..query.optimize import optimize_query
 from ..query.parser import parse_query
-from ..query.planner import plan_query
+from ..query.planner import plan_query, substitute_views
+from ..store import ChangeSet, Delta, MaterializedView, SegmentStore
 from .catalog import Catalog
 
 __all__ = ["TPDatabase"]
+
+
+class _RuntimeCatalog(Mapping[str, TPRelation]):
+    """Name resolution for the executor: views, then stores, then catalog.
+
+    Stores resolve to their epoch-cached snapshots; views resolve through
+    their refresh policy (``deferred`` views refresh on read)."""
+
+    def __init__(self, db: "TPDatabase") -> None:
+        self._db = db
+
+    def __getitem__(self, name: str) -> TPRelation:
+        db = self._db
+        view = db._views.get(name)
+        if view is not None:
+            return view.relation()
+        store = db._stores.get(name)
+        if store is not None:
+            return store.snapshot()
+        return db.catalog[name]
+
+    def __iter__(self) -> Iterator[str]:
+        seen = set(self._db._views) | set(self._db._stores) | set(self._db.catalog)
+        return iter(seen)
+
+    def __len__(self) -> int:
+        return len(set(self._db._views) | set(self._db._stores) | set(self._db.catalog))
 
 
 class TPDatabase:
@@ -31,6 +76,8 @@ class TPDatabase:
 
     def __init__(self) -> None:
         self.catalog = Catalog()
+        self._stores: dict[str, SegmentStore] = {}
+        self._views: dict[str, MaterializedView] = {}
 
     # ------------------------------------------------------------------
     # data definition
@@ -52,16 +99,160 @@ class TPDatabase:
         relation = TPRelation.from_rows(
             name, attributes, rows, id_prefix=id_prefix
         )
-        self.catalog.register(relation, replace=replace)
+        self.register(relation, replace=replace)
         return relation
 
     def register(self, relation: TPRelation, *, replace: bool = False) -> None:
         """Register an existing relation (e.g. loaded from disk)."""
+        name = relation.name
+        if name in self._views:
+            raise ValueError(f"{name!r} names a view; drop it first")
+        if name in self._stores:
+            if not replace:
+                raise ValueError(
+                    f"relation {name!r} already registered (pass replace=True)"
+                )
+            # A view holds the store behind its base relations; silently
+            # swapping the store out from under it would leave the view
+            # (and view-substituted queries) serving the old data forever.
+            dependents = [
+                view.name
+                for view in self._views.values()
+                if name in relation_references(view.query)
+            ]
+            if dependents:
+                raise ValueError(
+                    f"cannot replace {name!r}: referenced by view(s) "
+                    f"{', '.join(sorted(dependents))} — drop them first"
+                )
+            del self._stores[name]
         self.catalog.register(relation, replace=replace)
 
     def relation(self, name: str) -> TPRelation:
-        """Look a relation up by name."""
-        return self.catalog[name]
+        """Look a relation (or store snapshot, or view result) up by name."""
+        return _RuntimeCatalog(self)[name]
+
+    # ------------------------------------------------------------------
+    # mutation (the repro.store subsystem)
+    # ------------------------------------------------------------------
+    def store(self, name: str) -> SegmentStore:
+        """The mutable store behind ``name``, converting on first access.
+
+        A plain catalog relation is seeded into a
+        :class:`~repro.store.SegmentStore` (its tuples and event map are
+        carried over); from then on scans read the store's snapshot.
+        """
+        store = self._stores.get(name)
+        if store is not None:
+            return store
+        if name in self._views:
+            raise UnsupportedOperationError(
+                f"{name!r} is a materialized view; mutate its base relations"
+            )
+        store = SegmentStore.from_relation(self.catalog[name])
+        self._stores[name] = store
+        self.catalog.drop(name)
+        return store
+
+    def apply(
+        self,
+        name: str,
+        inserts: Iterable[Sequence[object]] = (),
+        deletes: Iterable[Sequence[object]] = (),
+    ) -> ChangeSet:
+        """One batched transaction against relation ``name``.
+
+        ``inserts`` rows are ``(*fact_values, ts, te, p)``; ``deletes``
+        rows are ``(*fact_values, ts, te)``.  Eager views refresh before
+        this returns."""
+        changeset = self.store(name).apply(inserts=inserts, deletes=deletes)
+        if changeset:
+            self._notify_views()
+        return changeset
+
+    def insert(self, name: str, rows: Iterable[Sequence[object]]) -> ChangeSet:
+        """Insert rows into relation ``name`` (one transaction)."""
+        return self.apply(name, inserts=rows)
+
+    def delete(self, name: str, rows: Iterable[Sequence[object]]) -> ChangeSet:
+        """Delete tuples named by ``(*fact_values, ts, te)`` rows."""
+        return self.apply(name, deletes=rows)
+
+    def apply_delta(self, name: str, delta: Delta) -> ChangeSet:
+        """Apply a loaded :class:`~repro.store.Delta` file as one transaction."""
+        return self.apply(name, inserts=delta.inserts, deletes=delta.deletes)
+
+    def _notify_views(self) -> None:
+        for view in self._views.values():
+            if view.policy == "eager":
+                view.refresh()
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+    def create_view(
+        self,
+        name: str,
+        text_or_ast: Union[str, QueryNode],
+        *,
+        policy: str = "deferred",
+        strategy: str = "INCREMENTAL",
+    ) -> MaterializedView:
+        """Create a materialized view defined by a TP query.
+
+        Every base relation the query references becomes store-backed
+        (views over views are not supported).  ``policy`` is ``eager``,
+        ``deferred`` (default) or ``manual``; ``strategy`` selects the
+        maintenance engine (``INCREMENTAL`` or the full-``RECOMPUTE``
+        fallback it is cross-checked against).
+        """
+        if name in self._views:
+            raise ValueError(f"view {name!r} already exists")
+        if name in self._stores or name in self.catalog:
+            raise ValueError(f"{name!r} already names a relation")
+        query = self._to_ast(text_or_ast)
+        stores: dict[str, SegmentStore] = {}
+        for ref in relation_references(query):
+            if ref in self._views:
+                raise UnsupportedOperationError(
+                    f"view {name!r} references view {ref!r}: views over "
+                    f"views are not supported — inline its definition"
+                )
+            stores[ref] = self.store(ref)
+        view = MaterializedView(
+            name, query, stores, policy=policy, strategy=strategy
+        )
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        """Look a materialized view up by name."""
+        try:
+            return self._views[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"no view named {name!r}") from exc
+
+    def drop_view(self, name: str) -> None:
+        """Remove a materialized view."""
+        self.view(name)
+        del self._views[name]
+
+    def refresh(self, name: Optional[str] = None) -> dict[str, bool]:
+        """Refresh one view (or all); returns per-view "anything changed"."""
+        views = [self.view(name)] if name is not None else self._views.values()
+        return {view.name: view.refresh() for view in views}
+
+    def _view_substitutions(self) -> dict[QueryNode, str]:
+        """Defining ASTs of the views a query may transparently read.
+
+        A view is substitutable when reading it yields fresh data:
+        ``eager`` and ``deferred`` views always (they refresh by policy),
+        ``manual`` views only while they happen to be fresh."""
+        return {
+            view.query: view.name
+            for view in self._views.values()
+            if view.policy != "manual" or view.is_fresh()
+        }
 
     # ------------------------------------------------------------------
     # querying
@@ -75,6 +266,7 @@ class TPDatabase:
         materialize: bool = True,
         optimize: bool = False,
         aggressive: bool = False,
+        use_views: bool = True,
     ) -> TPRelation:
         """Parse, plan and execute a TP set query.
 
@@ -87,12 +279,17 @@ class TPDatabase:
         (lineage-identical); ``aggressive=True`` additionally fuses
         difference chains, ``(a − b) − c → a − (b ∪ c)``, which preserves
         facts, intervals and probabilities but changes the lineage form.
+        ``use_views=True`` (default) lets the planner replace subqueries
+        matching a fresh materialized view's definition by a read of the
+        maintained result.
         """
         ast = self._to_ast(text_or_ast)
+        if use_views and self._views:
+            ast = substitute_views(ast, self._view_substitutions())
         if optimize or aggressive:
             ast = optimize_query(ast, aggressive=aggressive)
         plan = plan_query(ast, algorithm=algorithm, join_algorithm=join_algorithm)
-        return execute_plan(plan, self.catalog, materialize=materialize)
+        return execute_plan(plan, _RuntimeCatalog(self), materialize=materialize)
 
     def analyze(self, text_or_ast: Union[str, QueryNode]) -> QueryAnalysis:
         """Static analysis: Theorem-1 safety, complexity class, shape."""
@@ -106,15 +303,16 @@ class TPDatabase:
         join_algorithm: Optional[str] = None,
         optimize: bool = False,
         aggressive: bool = False,
+        use_views: bool = True,
     ) -> str:
         """Render the physical plan plus the static analysis report."""
         ast = self._to_ast(text_or_ast)
         analysis = analyze(ast)
-        lowered = (
-            optimize_query(ast, aggressive=aggressive)
-            if (optimize or aggressive)
-            else ast
-        )
+        lowered = ast
+        if use_views and self._views:
+            lowered = substitute_views(lowered, self._view_substitutions())
+        if optimize or aggressive:
+            lowered = optimize_query(lowered, aggressive=aggressive)
         plan = plan_query(lowered, algorithm=algorithm, join_algorithm=join_algorithm)
         return (
             f"query: {lowered}\n"
@@ -129,4 +327,7 @@ class TPDatabase:
         return text_or_ast
 
     def __repr__(self) -> str:
-        return f"TPDatabase({len(self.catalog)} relations)"
+        n = len(self.catalog) + len(self._stores)
+        return (
+            f"TPDatabase({n} relations, {len(self._views)} views)"
+        )

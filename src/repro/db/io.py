@@ -20,7 +20,7 @@ from typing import Union
 
 from ..core.interval import Interval
 from ..core.relation import TPRelation
-from ..core.schema import TPSchema, make_fact
+from ..core.schema import TPSchema, coerce_value, make_fact
 from ..core.tuple import TPTuple
 from ..lineage.formula import Var, variables
 from ..lineage.parser import parse_lineage
@@ -84,13 +84,18 @@ def save_csv(relation: TPRelation, path: _PathLike) -> None:
             writer.writerow(
                 [*t.fact, str(t.lineage), t.start, t.end, "" if t.p is None else t.p]
             )
+    sidecar = path.with_suffix(path.suffix + ".events.csv")
     if not _all_atomic(relation):
-        sidecar = path.with_suffix(path.suffix + ".events.csv")
         with sidecar.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(["event", "p"])
             for name, p in sorted(relation.events.items()):
                 writer.writerow([name, p])
+    else:
+        # All-atomic relations imply their event map; a sidecar left over
+        # from a previous save of derived content would silently override
+        # the tuples' own probabilities on the next load_csv.
+        sidecar.unlink(missing_ok=True)
 
 
 def load_csv(path: _PathLike, *, name: str | None = None) -> TPRelation:
@@ -113,7 +118,7 @@ def load_csv(path: _PathLike, *, name: str | None = None) -> TPRelation:
         schema = TPSchema(attributes)
         tuples = []
         for row in reader:
-            fact = make_fact(_coerce(v) for v in row[: len(attributes)])
+            fact = make_fact(coerce_value(v) for v in row[: len(attributes)])
             lineage_text, ts, te, p_text = row[len(attributes):]
             tuples.append(
                 TPTuple(
@@ -153,13 +158,3 @@ def _all_atomic(relation: TPRelation) -> bool:
         isinstance(t.lineage, Var) and len(variables(t.lineage)) == 1
         for t in relation
     )
-
-
-def _coerce(value: str):
-    """Best-effort typing of CSV fact values: int, then float, then str."""
-    for cast in (int, float):
-        try:
-            return cast(value)
-        except ValueError:
-            continue
-    return value

@@ -11,7 +11,7 @@ time — the same constraint Table II documents.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 from ..baselines.interface import SetOpAlgorithm
 from ..baselines.registry import JoinAlgorithm, get_algorithm, get_join_algorithm
@@ -26,6 +26,7 @@ __all__ = [
     "MultiSetOpPlan",
     "PhysicalPlan",
     "plan_query",
+    "substitute_views",
 ]
 
 
@@ -107,6 +108,41 @@ class MultiSetOpPlan:
 
 
 PhysicalPlan = Union[ScanPlan, SelectPlan, SetOpPlan, JoinPlan, MultiSetOpPlan]
+
+
+def substitute_views(
+    query: QueryNode, views: Mapping[QueryNode, str]
+) -> QueryNode:
+    """Replace subtrees matching a materialized view's definition by scans.
+
+    ``views`` maps defining query trees to view names (AST nodes are
+    frozen and hashable, so the lookup is a dict probe per subtree).
+    The planner then reads the maintained result from the catalog
+    instead of recomputing the subquery — the serving-path payoff of
+    :mod:`repro.store`.  Matching is outside-in: the largest matching
+    subtree wins.
+    """
+    name = views.get(query)
+    if name is not None:
+        return RelationRef(name)
+    if isinstance(query, SelectionNode):
+        child = substitute_views(query.child, views)
+        if child is query.child:
+            return query
+        return SelectionNode(child, query.attribute, query.value)
+    if isinstance(query, SetOpNode):
+        left = substitute_views(query.left, views)
+        right = substitute_views(query.right, views)
+        if left is query.left and right is query.right:
+            return query
+        return SetOpNode(query.op, left, right)
+    if isinstance(query, JoinNode):
+        left = substitute_views(query.left, views)
+        right = substitute_views(query.right, views)
+        if left is query.left and right is query.right:
+            return query
+        return JoinNode(query.kind, left, right, query.on)
+    return query
 
 
 def plan_query(

@@ -1,0 +1,54 @@
+"""Mutable TP storage and incremental view maintenance.
+
+The serving layer of the reproduction (DESIGN.md §9): mutable base
+relations stored as fact-group-keyed, time-partitioned segments
+(:class:`SegmentStore`), batched insert/delete transactions with a
+replayable change log (:class:`ChangeSet`, :class:`Delta`), and
+materialized views (:class:`MaterializedView`) kept consistent by
+delta-scoped partial re-sweeps of the LAWA / generalized-window kernels
+instead of full recomputation.
+
+>>> from repro.store import SegmentStore, MaterializedView
+>>> from repro.query.parser import parse_query
+>>> a = SegmentStore("a", ("product",))
+>>> _ = a.insert([("milk", 2, 10, 0.3), ("chips", 4, 7, 0.8)])
+>>> b = SegmentStore("b", ("product",))
+>>> _ = b.insert([("milk", 5, 9, 0.6)])
+>>> v = MaterializedView("v", parse_query("a | b"), {"a": a, "b": b})
+>>> len(v.relation())
+4
+>>> _ = a.delete([("chips", 4, 7)])
+>>> v.is_fresh()
+False
+>>> len(v.relation())  # deferred policy: refreshed on read
+3
+"""
+
+from .delta import Delta, load_delta, save_delta
+from .maintenance import (
+    MaintenanceStrategy,
+    get_maintenance_strategy,
+    maintenance_strategies,
+)
+from .segment import (
+    DEFAULT_SEGMENT_CAPACITY,
+    ChangeSet,
+    Region,
+    SegmentStore,
+)
+from .view import REFRESH_POLICIES, MaterializedView
+
+__all__ = [
+    "ChangeSet",
+    "DEFAULT_SEGMENT_CAPACITY",
+    "Delta",
+    "MaintenanceStrategy",
+    "MaterializedView",
+    "REFRESH_POLICIES",
+    "Region",
+    "SegmentStore",
+    "get_maintenance_strategy",
+    "load_delta",
+    "maintenance_strategies",
+    "save_delta",
+]

@@ -1,0 +1,101 @@
+"""Delta files: serialized insert/delete batches for a :class:`SegmentStore`.
+
+A delta is the write-side counterpart of the relation CSV format of
+:mod:`repro.db.io`: one CSV whose first column is the operation marker —
+``+`` (insert) or ``-`` (delete) — followed by the fact attributes, the
+interval and (for inserts) the probability::
+
+    op,product,ts,te,p
+    +,milk,2,10,0.3
+    -,chips,4,7,
+
+The column layout mirrors the target relation's schema so a delta is
+human-editable next to its relation file, and ``python -m repro.db
+--apply name=delta.csv`` replays it before running a query.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, Union
+
+from ..core.schema import coerce_value
+
+__all__ = ["Delta", "load_delta", "save_delta"]
+
+_PathLike = Union[str, Path]
+
+_INSERT_MARKS = {"+", "insert", "i"}
+_DELETE_MARKS = {"-", "delete", "d"}
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One batch of mutations: rows in :meth:`SegmentStore.apply` shape.
+
+    ``inserts`` rows are ``(*fact_values, ts, te, p)``; ``deletes`` rows
+    are ``(*fact_values, ts, te)``.
+    """
+
+    inserts: tuple[tuple, ...] = ()
+    deletes: tuple[tuple, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.inserts or self.deletes)
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+def load_delta(path: _PathLike, attributes: Sequence[str]) -> Delta:
+    """Load a delta CSV targeted at a relation with these attributes."""
+    path = Path(path)
+    expected = ["op", *attributes, "ts", "te", "p"]
+    inserts: list[tuple] = []
+    deletes: list[tuple] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != expected:
+            raise ValueError(
+                f"{path} is not a delta file for attributes "
+                f"{tuple(attributes)!r}: header {header!r}, expected {expected!r}"
+            )
+        arity = len(attributes)
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(expected):
+                raise ValueError(
+                    f"{path}:{lineno}: {len(row)} fields, expected {len(expected)}"
+                )
+            mark = row[0].strip().lower()
+            fact = tuple(coerce_value(v) for v in row[1 : arity + 1])
+            ts, te, p_text = row[arity + 1 :]
+            if mark in _INSERT_MARKS:
+                if not p_text:
+                    raise ValueError(f"{path}:{lineno}: insert rows need a probability")
+                inserts.append((*fact, int(ts), int(te), float(p_text)))
+            elif mark in _DELETE_MARKS:
+                deletes.append((*fact, int(ts), int(te)))
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown op marker {row[0]!r} "
+                    f"(use '+'/'insert' or '-'/'delete')"
+                )
+    return Delta(tuple(inserts), tuple(deletes))
+
+
+def save_delta(delta: Delta, path: _PathLike, attributes: Sequence[str]) -> None:
+    """Write a delta CSV (the format :func:`load_delta` reads)."""
+    path = Path(path)
+    arity = len(attributes)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["op", *attributes, "ts", "te", "p"])
+        for row in delta.deletes:
+            writer.writerow(["-", *row[:arity], row[arity], row[arity + 1], ""])
+        for row in delta.inserts:
+            writer.writerow(["+", *row[:arity], row[arity], row[arity + 1], row[arity + 2]])

@@ -1,0 +1,503 @@
+"""Mutable TP storage: fact-group-keyed, time-partitioned segments.
+
+The batch operators consume immutable :class:`~repro.core.relation.TPRelation`
+objects; under a write-heavy workload every base-fact change would force a
+full re-sort and re-sweep of every downstream query.  :class:`SegmentStore`
+is the mutable counterpart the serving layer stands on:
+
+* tuples are partitioned first by **fact group** (the unit LAWA windows
+  are local to) and then by **time** into bounded segments, each segment a
+  born-sorted run ordered by ``Ts``;
+* an **interval index** — the sorted start boundaries of each fact
+  group's segments — locates the segment responsible for a time point
+  with one bisect, so point inserts/deletes cost ``O(log n + capacity)``
+  instead of an ``O(n)`` list shift;
+* mutations are **batched transactions**: :meth:`apply` validates
+  duplicate-freeness, applies deletes-then-inserts atomically (rolling
+  back on violation), bumps the store's epoch and appends a
+  :class:`ChangeSet` to the change log that materialized views replay
+  (:mod:`repro.store.view`);
+* :meth:`snapshot` produces an immutable relation in ``(F, Ts)`` order
+  with ``assume_sorted=True`` — cached per epoch, so read-mostly phases
+  pay the assembly once.
+
+The duplicate-freeness invariant of the paper (Section III) is enforced
+at the transaction boundary: a batch whose net effect would overlap two
+same-fact intervals is rejected wholesale and the store is left exactly
+as it was.
+"""
+
+from __future__ import annotations
+
+import weakref
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..core.errors import DuplicateFactError
+from ..core.interval import Interval
+from ..core.relation import TPRelation
+from ..core.schema import Fact, TPSchema, make_fact
+from ..core.tuple import TPTuple, base_tuple
+from ..lineage.formula import variables
+
+__all__ = ["ChangeSet", "Region", "SegmentStore", "DEFAULT_SEGMENT_CAPACITY"]
+
+#: A dirty region: changes to ``fact`` are confined to ``[lo, hi)``.
+Region = tuple  # (Fact, int, int)
+
+#: Tuples per segment before a split.  Large enough that the per-segment
+#: constant work is amortized, small enough that a point mutation's list
+#: shift stays cheap.
+DEFAULT_SEGMENT_CAPACITY = 256
+
+#: Change-log retention while *no* consumer is registered: enough for
+#: ad-hoc ``changes_since`` polling, bounded so a store mutated outside
+#: any view does not grow its log forever.
+UNCONSUMED_LOG_CAP = 1024
+
+
+@dataclass(frozen=True)
+class ChangeSet:
+    """One committed transaction: what changed, and where.
+
+    ``events`` holds the marginal probabilities of the *newly created*
+    base-tuple variables; ``removed_events`` names the variables no
+    surviving tuple's lineage references any more.  Consumers (views)
+    apply both, so neither the store's nor any view's event map grows
+    with dead variables under a sustained update workload.
+    """
+
+    epoch: int
+    inserted: tuple[TPTuple, ...]
+    deleted: tuple[TPTuple, ...]
+    events: dict = field(default_factory=dict)
+    removed_events: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+    def regions(self) -> list[Region]:
+        """Per-fact dirty regions: merged spans of the changed tuples."""
+        spans: dict[Fact, list[list[int]]] = {}
+        for t in self.inserted + self.deleted:
+            spans.setdefault(t.fact, []).append([t.start, t.end])
+        regions: list[Region] = []
+        for fact, ranges in spans.items():
+            ranges.sort()
+            lo, hi = ranges[0]
+            for nlo, nhi in ranges[1:]:
+                if nlo > hi:
+                    regions.append((fact, lo, hi))
+                    lo, hi = nlo, nhi
+                else:
+                    hi = max(hi, nhi)
+            regions.append((fact, lo, hi))
+        return regions
+
+
+class _FactGroup:
+    """One fact's tuples: time-partitioned segments plus their index.
+
+    ``segments`` is a list of born-sorted runs (sorted by ``Ts``);
+    ``bounds[i]`` is the start point of ``segments[i][0]`` — the interval
+    index bisected to locate the segment owning a time point.
+    """
+
+    __slots__ = ("segments", "bounds", "capacity", "_flat")
+
+    def __init__(self, capacity: int) -> None:
+        self.segments: list[list[TPTuple]] = []
+        self.bounds: list[int] = []
+        self.capacity = capacity
+        self._flat: Optional[list[TPTuple]] = None
+
+    # -- reads ---------------------------------------------------------
+    def tuples(self) -> list[TPTuple]:
+        flat = self._flat
+        if flat is None:
+            if len(self.segments) == 1:
+                flat = list(self.segments[0])
+            else:
+                flat = [t for segment in self.segments for t in segment]
+            self._flat = flat
+        return flat
+
+    def __len__(self) -> int:
+        return sum(len(segment) for segment in self.segments)
+
+    def _locate(self, start: int) -> int:
+        """Index of the segment whose range owns ``start``."""
+        return max(0, bisect_right(self.bounds, start) - 1)
+
+    def find(self, start: int, end: int) -> Optional[TPTuple]:
+        """The tuple with exactly this interval, if present."""
+        if not self.segments:
+            return None
+        segment = self.segments[self._locate(start)]
+        i = bisect_left([t.start for t in segment], start)
+        if i < len(segment) and segment[i].start == start and segment[i].end == end:
+            return segment[i]
+        return None
+
+    def overlapping(self, start: int, end: int) -> Optional[TPTuple]:
+        """Any stored tuple whose interval overlaps ``[start, end)``."""
+        if not self.segments:
+            return None
+        si = self._locate(start)
+        # The owning segment's predecessor may hold a long tuple spanning
+        # into it, so scan from one segment back.
+        for segment in self.segments[max(0, si - 1):]:
+            if segment[0].start >= end:
+                break
+            for t in segment:
+                if t.start >= end:
+                    break
+                if t.end > start:
+                    return t
+        return None
+
+    # -- writes --------------------------------------------------------
+    def insert(self, t: TPTuple) -> None:
+        self._flat = None
+        if not self.segments:
+            self.segments.append([t])
+            self.bounds.append(t.start)
+            return
+        si = self._locate(t.start)
+        segment = self.segments[si]
+        i = bisect_left([u.start for u in segment], t.start)
+        segment.insert(i, t)
+        if i == 0:
+            self.bounds[si] = segment[0].start
+        if len(segment) > self.capacity:
+            self._split(si)
+
+    def remove(self, t: TPTuple) -> None:
+        self._flat = None
+        si = self._locate(t.start)
+        segment = self.segments[si]
+        i = bisect_left([u.start for u in segment], t.start)
+        assert i < len(segment) and segment[i].start == t.start, "tuple not stored"
+        del segment[i]
+        if not segment:
+            del self.segments[si]
+            del self.bounds[si]
+        elif i == 0:
+            self.bounds[si] = segment[0].start
+
+    def _split(self, si: int) -> None:
+        segment = self.segments[si]
+        mid = len(segment) // 2
+        tail = segment[mid:]
+        del segment[mid:]
+        self.segments.insert(si + 1, tail)
+        self.bounds.insert(si + 1, tail[0].start)
+
+
+class SegmentStore:
+    """A mutable TP relation stored as interval-partitioned segments."""
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        *,
+        segment_capacity: int = DEFAULT_SEGMENT_CAPACITY,
+    ) -> None:
+        if segment_capacity < 2:
+            raise ValueError("segment_capacity must be at least 2")
+        self.name = name
+        self.schema = TPSchema(tuple(attributes))
+        self.segment_capacity = segment_capacity
+        self.events: dict[str, float] = {}
+        self.epoch = 0
+        self._groups: dict[Fact, _FactGroup] = {}
+        self._facts_sorted: list[Fact] = []
+        self._log: list[ChangeSet] = []
+        self._consumers: "weakref.WeakSet" = weakref.WeakSet()
+        # How many stored tuples' lineages reference each variable; an
+        # event whose count drops to zero is removed from the event map
+        # (sustained delete + re-insert workloads would otherwise grow
+        # it without bound).  Sidecar-only variables — referenced by no
+        # stored lineage, e.g. seeded alongside a derived relation — are
+        # never counted and therefore never dropped.
+        self._var_refs: dict[str, int] = {}
+        self._counter = 0
+        self._snapshot: Optional[tuple[int, TPRelation]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(
+        cls,
+        relation: TPRelation,
+        *,
+        segment_capacity: int = DEFAULT_SEGMENT_CAPACITY,
+    ) -> "SegmentStore":
+        """Seed a store from an existing (typically base) relation.
+
+        Tuples and the event map are carried over verbatim; future
+        inserts mint fresh identifiers under a ``<name>_n<k>`` scheme
+        that cannot collide with the relation's own ``<name><k>`` ids.
+        """
+        store = cls(
+            relation.name,
+            relation.schema.attributes,
+            segment_capacity=segment_capacity,
+        )
+        for t in relation.sorted_tuples():
+            store._group_for(t.fact).insert(t)
+            for var in variables(t.lineage):
+                store._var_refs[var] = store._var_refs.get(var, 0) + 1
+        store.events.update(relation.events)
+        return store
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        inserts: Iterable[Sequence[object]] = (),
+        deletes: Iterable[Sequence[object]] = (),
+    ) -> ChangeSet:
+        """Apply one batched transaction; returns the committed change set.
+
+        ``inserts`` rows are ``(*fact_values, ts, te, p)`` (as in
+        :meth:`TPRelation.from_rows`); ``deletes`` rows are
+        ``(*fact_values, ts, te)`` naming stored tuples by fact and
+        exact interval.  Deletes are applied before inserts, so a batch
+        may atomically replace a tuple in place.  On any violation —
+        unknown delete target, duplicate-free conflict — the store is
+        rolled back to its pre-transaction state and the error raised.
+
+        An empty transaction is a no-op: the epoch does not move and no
+        change set is logged.
+        """
+        arity = self.schema.arity
+        delete_specs = [self._parse_delete(row, arity) for row in deletes]
+        insert_rows = [self._parse_insert(row, arity) for row in inserts]
+        if not delete_specs and not insert_rows:
+            return ChangeSet(self.epoch, (), ())
+
+        removed: list[TPTuple] = []
+        added: list[TPTuple] = []
+        new_events: dict[str, float] = {}
+        try:
+            for fact, interval in delete_specs:
+                group = self._groups.get(fact)
+                target = (
+                    group.find(interval.start, interval.end) if group else None
+                )
+                if target is None:
+                    raise KeyError(
+                        f"no tuple {fact!r} @ {interval} in store {self.name!r}"
+                    )
+                group.remove(target)
+                removed.append(target)
+            for fact, interval, p in insert_rows:
+                group = self._group_for(fact)
+                clash = group.overlapping(interval.start, interval.end)
+                if clash is not None:
+                    raise DuplicateFactError(
+                        f"store {self.name!r} rejects insert {fact!r} @ "
+                        f"{interval}: overlaps stored interval {clash.interval}"
+                    )
+                self._counter += 1
+                identifier = f"{self.name}_n{self._counter}"
+                t = base_tuple(fact, identifier, interval, p)
+                group.insert(t)
+                added.append(t)
+                new_events[identifier] = p
+        except Exception:
+            # Roll back: the store must be exactly as before the batch.
+            for t in added:
+                self._groups[t.fact].remove(t)
+            for t in removed:
+                self._group_for(t.fact).insert(t)
+            self._prune_empty_groups()
+            raise
+
+        self._prune_empty_groups()
+        self.events.update(new_events)
+        # Commit-time reference counting (the rollback path above never
+        # touches counts): drop events no surviving lineage references.
+        refs = self._var_refs
+        for t in added:
+            for var in variables(t.lineage):
+                refs[var] = refs.get(var, 0) + 1
+        dropped: list[str] = []
+        for t in removed:
+            for var in variables(t.lineage):
+                count = refs.get(var, 0) - 1
+                if count > 0:
+                    refs[var] = count
+                else:
+                    refs.pop(var, None)
+                    if self.events.pop(var, None) is not None:
+                        dropped.append(var)
+        self.epoch += 1
+        changeset = ChangeSet(
+            self.epoch, tuple(added), tuple(removed), new_events, tuple(dropped)
+        )
+        self._log.append(changeset)
+        self._snapshot = None
+        self.prune_consumed()
+        return changeset
+
+    def insert(self, rows: Iterable[Sequence[object]]) -> ChangeSet:
+        """Insert a batch of ``(*fact_values, ts, te, p)`` rows."""
+        return self.apply(inserts=rows)
+
+    def delete(self, rows: Iterable[Sequence[object]]) -> ChangeSet:
+        """Delete a batch of tuples named by ``(*fact_values, ts, te)``."""
+        return self.apply(deletes=rows)
+
+    def delete_where(self, predicate: Callable[[TPTuple], bool]) -> ChangeSet:
+        """Delete every stored tuple matching ``predicate``, as one batch."""
+        doomed = [
+            (*t.fact, t.start, t.end) for t in self.iter_sorted() if predicate(t)
+        ]
+        return self.apply(deletes=doomed)
+
+    def _parse_delete(self, row: Sequence[object], arity: int):
+        values = list(row)
+        if len(values) != arity + 2:
+            raise ValueError(
+                f"delete row {values!r} has {len(values)} fields, expected "
+                f"{arity} fact values followed by ts, te"
+            )
+        return make_fact(values[:arity]), Interval(int(values[arity]), int(values[arity + 1]))
+
+    def _parse_insert(self, row: Sequence[object], arity: int):
+        values = list(row)
+        if len(values) != arity + 3:
+            raise ValueError(
+                f"insert row {values!r} has {len(values)} fields, expected "
+                f"{arity} fact values followed by ts, te, p"
+            )
+        ts, te, p = values[arity:]
+        return make_fact(values[:arity]), Interval(int(ts), int(te)), float(p)
+
+    def _group_for(self, fact: Fact) -> _FactGroup:
+        group = self._groups.get(fact)
+        if group is None:
+            group = _FactGroup(self.segment_capacity)
+            self._groups[fact] = group
+            insort(self._facts_sorted, fact)
+        return group
+
+    def _prune_empty_groups(self) -> None:
+        empty = [fact for fact, group in self._groups.items() if not group.segments]
+        for fact in empty:
+            del self._groups[fact]
+            i = bisect_left(self._facts_sorted, fact)
+            del self._facts_sorted[i]
+
+    # ------------------------------------------------------------------
+    # change log
+    # ------------------------------------------------------------------
+    def changes_since(self, epoch: int) -> list[ChangeSet]:
+        """The change sets committed after ``epoch``, oldest first.
+
+        Raises when the log no longer reaches back to ``epoch`` (pruned
+        too aggressively) — a consumer must never silently miss changes.
+        """
+        if epoch >= self.epoch:
+            return []
+        if not self._log or self._log[0].epoch > epoch + 1:
+            raise ValueError(
+                f"change log of store {self.name!r} was pruned past epoch {epoch}"
+            )
+        i = bisect_right([cs.epoch for cs in self._log], epoch)
+        return self._log[i:]
+
+    def prune_log(self, up_to_epoch: int) -> None:
+        """Drop change sets at or below ``up_to_epoch`` (consumed by all views)."""
+        i = bisect_right([cs.epoch for cs in self._log], up_to_epoch)
+        del self._log[:i]
+
+    def register_consumer(self, consumer: object) -> None:
+        """Track a change-log consumer (anything with a ``seen_epoch``).
+
+        Consumers are weakly referenced; the log is pruned up to the
+        minimum ``seen_epoch`` of the live consumers after every
+        transaction, so a serving workload retains only the change sets
+        some view still has to replay.  (A never-refreshed ``manual``
+        view therefore pins the log by design — it needs those changes.)
+        With no live consumers the log is merely capped
+        (:data:`UNCONSUMED_LOG_CAP`) to keep ad-hoc ``changes_since``
+        polling working without unbounded growth.
+        """
+        self._consumers.add(consumer)
+
+    def prune_consumed(self) -> None:
+        """Drop change sets every registered live consumer has replayed."""
+        consumers = list(self._consumers)
+        if consumers:
+            self.prune_log(min(c.seen_epoch for c in consumers))
+        elif len(self._log) > UNCONSUMED_LOG_CAP:
+            del self._log[: len(self._log) - UNCONSUMED_LOG_CAP]
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def facts(self) -> list[Fact]:
+        """The stored fact groups, in sorted order (shared list — do not mutate)."""
+        return self._facts_sorted
+
+    def tuples_of(self, fact: Fact) -> list[TPTuple]:
+        """The fact's tuples in ``Ts`` order (cached until the fact mutates)."""
+        group = self._groups.get(fact)
+        return group.tuples() if group is not None else []
+
+    def iter_sorted(self) -> Iterator[TPTuple]:
+        """All tuples in ``(F, Ts)`` order, lazily, segment by segment.
+
+        This is the constant-space feed for the streaming operators
+        (:mod:`repro.algebra.streaming`): nothing is materialized beyond
+        the segment currently being walked.
+        """
+        for fact in self._facts_sorted:
+            for segment in self._groups[fact].segments:
+                yield from segment
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._groups.values())
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._groups
+
+    def snapshot(self) -> TPRelation:
+        """An immutable relation of the current contents (cached per epoch)."""
+        cached = self._snapshot
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1]
+        relation = TPRelation(
+            self.name,
+            self.schema,
+            list(self.iter_sorted()),
+            self.events,
+            validate=False,
+            assume_sorted=True,
+        )
+        self._snapshot = (self.epoch, relation)
+        return relation
+
+    def segment_stats(self) -> dict[str, int]:
+        """Shape of the physical layout, for tests and monitoring."""
+        counts = [len(g.segments) for g in self._groups.values()]
+        return {
+            "facts": len(self._groups),
+            "segments": sum(counts),
+            "max_segments_per_fact": max(counts, default=0),
+            "tuples": len(self),
+            "log_entries": len(self._log),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentStore({self.name!r}, {len(self)} tuples, "
+            f"{len(self._groups)} facts, epoch {self.epoch})"
+        )

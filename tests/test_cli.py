@@ -72,6 +72,41 @@ class TestDbCli:
         result = load_json(out_path)
         assert len(result) == 9  # Fig. 3 union row count
 
+    def test_apply_delta_before_query(self, relation_files, tmp_path, capsys):
+        a_path, c_path = relation_files
+        delta = tmp_path / "delta.csv"
+        delta.write_text(
+            "op,product,ts,te,p\n"
+            "+,beer,1,6,0.5\n"
+            "-,chips,4,7,\n"
+        )
+        code = db_main(
+            [
+                "--load", f"a={a_path}",
+                "--load", f"c={c_path}",
+                "--apply", f"a={delta}",
+                "--query", "a | a",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied delta.csv to a: +1 -1" in out
+        assert "beer" in out and "chips" not in out
+
+    def test_apply_unknown_relation_rejected(self, relation_files, tmp_path):
+        a_path, _ = relation_files
+        delta = tmp_path / "delta.csv"
+        delta.write_text("op,product,ts,te,p\n+,beer,1,6,0.5\n")
+        with pytest.raises(SystemExit, match="no loaded relation"):
+            db_main(["--load", f"a={a_path}", "--apply", f"nope={delta}",
+                     "--query", "a"])
+
+    def test_bad_apply_spec(self, relation_files):
+        a_path, _ = relation_files
+        with pytest.raises(SystemExit):
+            db_main(["--load", f"a={a_path}", "--apply", "just-a-path.csv",
+                     "--query", "a"])
+
     def test_bad_load_spec(self):
         with pytest.raises(SystemExit):
             db_main(["--load", "just-a-path.csv", "--query", "a"])

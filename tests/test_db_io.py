@@ -56,6 +56,22 @@ class TestCsv:
         with pytest.raises(ValueError, match="sidecar"):
             load_csv(path)
 
+    def test_stale_sidecar_removed_on_resave(self, rel_a, rel_c, tmp_path):
+        """Re-saving all-atomic content must drop a stale events sidecar.
+
+        Without the cleanup, the derived save's sidecar survives the
+        re-save and silently overrides the base tuples' probabilities on
+        the next load."""
+        path = tmp_path / "rel.csv"
+        save_csv(tp_except(rel_a, rel_c), path)  # derived: writes sidecar
+        sidecar = tmp_path / "rel.csv.events.csv"
+        assert sidecar.exists()
+        save_csv(rel_a, path)  # base: all lineages atomic
+        assert not sidecar.exists()
+        loaded = load_csv(path, name="a")
+        assert loaded.equivalent_to(rel_a)
+        assert loaded.events == rel_a.events
+
     def test_name_defaults_to_stem(self, rel_a, tmp_path):
         path = tmp_path / "warehouse.csv"
         save_csv(rel_a, path)

@@ -1,0 +1,192 @@
+"""Unit tests for the mutable segment store (repro.store.segment/delta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DuplicateFactError
+from repro.store import Delta, SegmentStore, load_delta, save_delta
+
+
+@pytest.fixture
+def store(rel_a) -> SegmentStore:
+    return SegmentStore.from_relation(rel_a)
+
+
+class TestBasics:
+    def test_from_relation_round_trip(self, rel_a, store):
+        assert len(store) == len(rel_a)
+        assert store.snapshot().equivalent_to(rel_a)
+        assert store.snapshot().name == rel_a.name
+
+    def test_snapshot_is_born_sorted(self, store):
+        snap = store.snapshot()
+        assert snap.is_sorted_by_fact_ts
+
+    def test_snapshot_cached_per_epoch(self, store):
+        assert store.snapshot() is store.snapshot()
+        store.insert([("beer", 1, 3, 0.5)])
+        first = store.snapshot()
+        assert first is not None and first is store.snapshot()
+
+    def test_iter_sorted_matches_snapshot(self, store):
+        store.insert([("beer", 1, 3, 0.5), ("milk", 12, 14, 0.2)])
+        assert list(store.iter_sorted()) == list(store.snapshot().sorted_tuples())
+
+    def test_tuples_of(self, store):
+        (t,) = store.tuples_of(("chips",))
+        assert (t.start, t.end) == (4, 7)
+        assert store.tuples_of(("nope",)) == []
+
+
+class TestTransactions:
+    def test_insert_assigns_fresh_ids_and_events(self, store):
+        before = dict(store.events)
+        cs = store.insert([("beer", 1, 3, 0.5)])
+        (t,) = cs.inserted
+        name = str(t.lineage)
+        assert name not in before and store.events[name] == 0.5
+
+    def test_empty_transaction_is_noop(self, store):
+        epoch = store.epoch
+        cs = store.apply()
+        assert not cs and store.epoch == epoch
+        assert store.changes_since(epoch) == []
+
+    def test_epoch_and_change_log(self, store):
+        start = store.epoch
+        store.insert([("beer", 1, 3, 0.5)])
+        store.delete([("chips", 4, 7)])
+        changes = store.changes_since(start)
+        assert [cs.epoch for cs in changes] == [start + 1, start + 2]
+        assert len(changes[0].inserted) == 1 and len(changes[1].deleted) == 1
+
+    def test_delete_unknown_tuple_rejected(self, store):
+        with pytest.raises(KeyError):
+            store.delete([("chips", 4, 8)])  # wrong interval
+
+    def test_overlap_rejected_and_rolled_back(self, store):
+        epoch = store.epoch
+        snapshot = store.snapshot()
+        with pytest.raises(DuplicateFactError):
+            # Second insert of the batch overlaps the first.
+            store.insert([("beer", 1, 5, 0.5), ("beer", 3, 8, 0.4)])
+        assert store.epoch == epoch
+        assert store.snapshot().equivalent_to(snapshot)
+
+    def test_failed_batch_rolls_back_deletes_too(self, store):
+        snapshot = store.snapshot()
+        with pytest.raises(DuplicateFactError):
+            store.apply(
+                deletes=[("chips", 4, 7)],
+                inserts=[("milk", 3, 5, 0.4)],  # overlaps stored milk [2,10)
+            )
+        assert store.snapshot().equivalent_to(snapshot)
+
+    def test_delete_then_insert_same_batch(self, store):
+        # The "update" pattern: replacing a tuple in place is one batch.
+        cs = store.apply(
+            deletes=[("milk", 2, 10)], inserts=[("milk", 2, 10, 0.9)]
+        )
+        assert len(cs.inserted) == len(cs.deleted) == 1
+        (t,) = store.tuples_of(("milk",))
+        assert t.p == 0.9
+
+    def test_boundary_touching_insert_accepted(self, store):
+        # Half-open intervals: [10, 12) touches milk's [2, 10) but does
+        # not overlap it.
+        store.insert([("milk", 10, 12, 0.4)])
+        starts = [t.start for t in store.tuples_of(("milk",))]
+        assert starts == [2, 10]
+
+    def test_delete_where(self, store):
+        cs = store.delete_where(lambda t: t.fact == ("milk",))
+        assert len(cs.deleted) == 1
+        assert ("milk",) not in store
+
+    def test_regions_merge_per_fact(self, store):
+        cs = store.apply(
+            deletes=[("milk", 2, 10)],
+            inserts=[("milk", 2, 8, 0.4), ("dates", 10, 12, 0.3)],
+        )
+        regions = dict(((f, (lo, hi)) for f, lo, hi in cs.regions()))
+        assert regions[("milk",)] == (2, 10)
+        assert regions[("dates",)] == (10, 12)
+
+
+class TestSegmentation:
+    def test_segments_split_and_stay_sorted(self):
+        store = SegmentStore("s", ("k",), segment_capacity=4)
+        rows = [("x", i * 2, i * 2 + 1, 0.5) for i in range(40)]
+        store.insert(rows)
+        stats = store.segment_stats()
+        assert stats["segments"] > 1
+        starts = [t.start for t in store.tuples_of(("x",))]
+        assert starts == sorted(starts)
+
+    def test_interval_index_locates_across_segments(self):
+        store = SegmentStore("s", ("k",), segment_capacity=4)
+        store.insert([("x", i * 10, i * 10 + 9, 0.5) for i in range(20)])
+        # Delete from the middle, insert into the freed slot.
+        store.delete([("x", 100, 109)])
+        store.insert([("x", 101, 104, 0.3)])
+        with pytest.raises(DuplicateFactError):
+            store.insert([("x", 103, 106, 0.3)])
+        starts = [t.start for t in store.tuples_of(("x",))]
+        assert starts == sorted(starts) and 101 in starts
+
+    def test_empty_fact_groups_pruned(self):
+        store = SegmentStore("s", ("k",))
+        store.insert([("x", 0, 5, 0.5), ("y", 0, 5, 0.5)])
+        store.delete_where(lambda t: t.fact == ("y",))
+        assert store.facts() == [("x",)]
+
+    def test_prune_log(self):
+        store = SegmentStore("s", ("k",))
+        store.insert([("x", 0, 5, 0.5)])
+        store.insert([("x", 6, 8, 0.5)])
+        store.prune_log(1)
+        assert [cs.epoch for cs in store.changes_since(1)] == [2]
+        with pytest.raises(ValueError, match="pruned"):
+            store.changes_since(0)
+
+
+class TestDeltaFiles:
+    def test_round_trip(self, tmp_path):
+        delta = Delta(
+            inserts=(("milk", 2, 10, 0.3), ("chips", 1, 4, 0.8)),
+            deletes=(("dates", 1, 3),),
+        )
+        path = tmp_path / "delta.csv"
+        save_delta(delta, path, ("product",))
+        loaded = load_delta(path, ("product",))
+        assert loaded == delta
+        assert len(loaded) == 3 and bool(loaded)
+
+    def test_apply_to_store(self, store, tmp_path):
+        delta = Delta(inserts=(("beer", 1, 3, 0.5),), deletes=(("chips", 4, 7),))
+        path = tmp_path / "delta.csv"
+        save_delta(delta, path, ("product",))
+        cs = store.apply(
+            inserts=load_delta(path, ("product",)).inserts,
+            deletes=load_delta(path, ("product",)).deletes,
+        )
+        assert len(cs.inserted) == 1 and len(cs.deleted) == 1
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "delta.csv"
+        path.write_text("op,item,ts,te,p\n+,milk,1,2,0.5\n")
+        with pytest.raises(ValueError, match="delta file"):
+            load_delta(path, ("product",))
+
+    def test_bad_marker_rejected(self, tmp_path):
+        path = tmp_path / "delta.csv"
+        path.write_text("op,product,ts,te,p\n?,milk,1,2,0.5\n")
+        with pytest.raises(ValueError, match="op marker"):
+            load_delta(path, ("product",))
+
+    def test_insert_needs_probability(self, tmp_path):
+        path = tmp_path / "delta.csv"
+        path.write_text("op,product,ts,te,p\n+,milk,1,2,\n")
+        with pytest.raises(ValueError, match="probability"):
+            load_delta(path, ("product",))

@@ -1,0 +1,295 @@
+"""Materialized views: policies, strategies, db wiring, planner reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UnsupportedOperationError, tp_set_operation
+from repro.baselines import (
+    get_view_maintenance_strategy,
+    view_maintenance_strategies,
+)
+from repro.db import TPDatabase
+from repro.query.parser import parse_query
+from repro.store import MaterializedView, SegmentStore
+
+
+@pytest.fixture
+def db(rel_a, rel_b, rel_c) -> TPDatabase:
+    database = TPDatabase()
+    for relation in (rel_a, rel_b, rel_c):
+        database.register(relation)
+    return database
+
+
+class TestViewCorrectness:
+    @pytest.mark.parametrize(
+        "query", ["a | b", "a & c", "c - (a | b)", "(a | b) - c"]
+    )
+    def test_view_matches_direct_query(self, db, query):
+        view = db.create_view("v", query)
+        direct = db.query(query, use_views=False)
+        assert db.query("v").equivalent_to(direct)
+
+    @pytest.mark.parametrize("strategy", ["INCREMENTAL", "RECOMPUTE"])
+    def test_view_follows_mutations(self, db, strategy):
+        db.create_view("v", "c - (a | b)", strategy=strategy)
+        db.insert("a", [("beer", 1, 6, 0.5), ("milk", 11, 14, 0.4)])
+        db.delete("c", [("milk", 1, 4)])
+        db.apply("b", inserts=[("dates", 2, 5, 0.3)], deletes=[("chips", 3, 6)])
+        direct = db.query("c - (a | b)", use_views=False)
+        assert db.query("v").equivalent_to(direct)
+
+    def test_incremental_equals_recompute(self, db):
+        vi = db.create_view("vi", "c - (a | b)", policy="manual")
+        vr = db.create_view("vr", "c - (a | b)", policy="manual",
+                            strategy="RECOMPUTE")
+        db.insert("c", [("beer", 1, 9, 0.7)])
+        db.delete("a", [("dates", 1, 3)])
+        vi.refresh()
+        vr.refresh()
+        assert vi.relation().equivalent_to(vr.relation())
+
+    def test_view_over_selection(self, db):
+        view = db.create_view("v", "c[product='milk'] - a[product='milk']")
+        db.insert("c", [("milk", 11, 13, 0.5), ("chips", 10, 12, 0.6)])
+        direct = db.query("c[product='milk'] - a[product='milk']", use_views=False)
+        assert view.relation().equivalent_to(direct)
+
+    def test_view_over_join(self, db):
+        db.create_relation("prices", ("product", "price"),
+                           [("milk", 2, 3, 8, 0.8), ("beer", 1, 0, 5, 0.6)])
+        view = db.create_view("v", "c LEFT OUTER JOIN prices ON product")
+        db.insert("prices", [("chips", 3, 2, 6, 0.5)])
+        db.delete("c", [("chips", 4, 5)])
+        direct = db.query("c LEFT OUTER JOIN prices ON product", use_views=False)
+        assert view.relation().equivalent_to(direct)
+
+
+class TestRefreshPolicies:
+    def test_deferred_refreshes_on_read(self, db):
+        view = db.create_view("v", "a | b", policy="deferred")
+        db.insert("a", [("beer", 1, 3, 0.5)])
+        assert not view.is_fresh()
+        assert any(t.fact == ("beer",) for t in view.relation())
+        assert view.is_fresh()
+
+    def test_eager_refreshes_on_write(self, db):
+        view = db.create_view("v", "a | b", policy="eager")
+        db.insert("a", [("beer", 1, 3, 0.5)])
+        assert view.is_fresh()
+
+    def test_manual_serves_stale_until_refreshed(self, db):
+        view = db.create_view("v", "a | b", policy="manual")
+        before = len(view.relation())
+        db.insert("a", [("beer", 1, 3, 0.5)])
+        assert not view.is_fresh()
+        assert len(view.relation()) == before  # stale by contract
+        db.refresh("v")
+        assert view.is_fresh() and len(view.relation()) == before + 1
+
+    def test_refresh_reports_content_change(self, db):
+        view = db.create_view("v", "a & b", policy="manual")
+        db.insert("a", [("beer", 20, 22, 0.5)])  # no intersection partner
+        assert view.refresh() is False  # refreshed, nothing changed
+        assert view.is_fresh()
+        db.insert("b", [("beer", 21, 25, 0.5)])
+        assert view.refresh() is True
+
+    def test_unknown_policy_rejected(self, db):
+        with pytest.raises(ValueError, match="refresh policy"):
+            db.create_view("v", "a | b", policy="sometimes")
+
+
+class TestDatabaseWiring:
+    def test_mutating_plain_relation_converts_to_store(self, db, rel_a):
+        db.insert("a", [("beer", 1, 3, 0.5)])
+        assert isinstance(db.store("a"), SegmentStore)
+        assert len(db.relation("a")) == len(rel_a) + 1
+        # Queries read the store snapshot transparently.
+        assert any(t.fact == ("beer",) for t in db.query("a | a"))
+
+    def test_planner_reads_fresh_view(self, db):
+        db.create_view("q", "c - (a | b)")
+        plan_line = db.explain("c - (a | b)").splitlines()[1]
+        assert "Scan[q]" in plan_line
+
+    def test_planner_substitutes_subtrees(self, db):
+        db.create_view("q", "a | b")
+        explain = db.explain("c - (a | b)")
+        assert "Scan[q]" in explain and "Union" not in explain
+
+    def test_stale_manual_view_not_substituted(self, db):
+        db.create_view("q", "a | b", policy="manual")
+        assert "Scan[q]" in db.explain("a | b")  # fresh: substituted
+        db.insert("a", [("beer", 1, 3, 0.5)])
+        assert "Scan[q]" not in db.explain("a | b")  # stale: recomputed
+        direct = db.query("a | b", use_views=False)
+        assert db.query("a | b").equivalent_to(direct)
+
+    def test_use_views_false_bypasses(self, db):
+        db.create_view("q", "a | b")
+        assert "Scan[q]" not in db.explain("a | b", use_views=False)
+
+    def test_view_usable_inside_larger_query(self, db):
+        db.create_view("q", "a | b")
+        direct = db.query("c - (a | b)", use_views=False)
+        assert db.query("c - q").equivalent_to(direct)
+
+    def test_view_name_collisions_rejected(self, db):
+        db.create_view("q", "a | b")
+        with pytest.raises(ValueError, match="already exists"):
+            db.create_view("q", "a & b")
+        with pytest.raises(ValueError, match="already names"):
+            db.create_view("a", "a & b")
+
+    def test_views_over_views_rejected(self, db):
+        db.create_view("q", "a | b")
+        with pytest.raises(UnsupportedOperationError, match="views over"):
+            db.create_view("qq", "q - c")
+
+    def test_drop_view(self, db):
+        db.create_view("q", "a | b")
+        db.drop_view("q")
+        assert "Scan[q]" not in db.explain("a | b")
+        with pytest.raises(KeyError):
+            db.view("q")
+
+    def test_mutating_a_view_rejected(self, db):
+        db.create_view("q", "a | b")
+        with pytest.raises(UnsupportedOperationError, match="view"):
+            db.insert("q", [("beer", 1, 3, 0.5)])
+
+    def test_replacing_a_view_base_relation_rejected(self, db):
+        """replace=True must not orphan the store a view still reads."""
+        db.create_view("q", "a | b")
+        with pytest.raises(ValueError, match="referenced by view"):
+            db.create_relation("a", ("product",), [("beer", 1, 4, 0.5)],
+                               replace=True)
+        # Dropping the view unblocks the replacement, and queries see it.
+        db.drop_view("q")
+        db.create_relation("a", ("product",), [("beer", 1, 4, 0.5)],
+                           replace=True)
+        assert [t.fact for t in db.query("a | a")] == [("beer",)]
+
+    def test_eager_view_never_serves_stale_after_direct_store_write(self, db):
+        """Writes through db.store(...).apply bypass _notify_views; the
+        substituted eager view must still re-check freshness on read."""
+        db.create_view("q", "c - (a | b)", policy="eager")
+        db.store("c").apply(inserts=[("beer", 1, 5, 0.9)])
+        direct = db.query("c - (a | b)", use_views=False)
+        assert db.query("c - (a | b)").equivalent_to(direct)
+        assert db.query("q").equivalent_to(direct)
+
+    def test_change_log_pruned_once_views_consumed(self, db):
+        db.create_view("q", "a | b", policy="eager")
+        store = db.store("a")
+        for i in range(5):
+            db.insert("a", [("beer", 20 + 3 * i, 21 + 3 * i, 0.5)])
+        # Eager refresh consumes each transaction; the next apply prunes.
+        assert store.segment_stats()["log_entries"] <= 1
+
+    def test_manual_view_pins_change_log_until_refresh(self, db):
+        view = db.create_view("q", "a | b", policy="manual")
+        store = db.store("a")
+        for i in range(4):
+            db.insert("a", [("beer", 20 + 3 * i, 21 + 3 * i, 0.5)])
+        assert store.segment_stats()["log_entries"] == 4  # still needed
+        view.refresh()
+        db.insert("a", [("tea", 40, 42, 0.5)])
+        assert store.segment_stats()["log_entries"] == 1
+
+    def test_events_do_not_leak_under_update_workload(self, db):
+        """Delete + re-insert rounds must not grow the event maps."""
+        view = db.create_view("q", "a | b", policy="eager")
+        store = db.store("a")
+        for _ in range(50):
+            (t,) = store.tuples_of(("milk",))
+            db.apply("a", deletes=[("milk", t.start, t.end)],
+                     inserts=[("milk", t.start, t.end, 0.5)])
+        assert len(store.events) == 3  # one live variable per tuple
+        # The view's event map tracks removals through the change log.
+        assert len(view.relation().events) == len(
+            db.query("a | b", use_views=False).events
+        )
+
+    def test_shared_variable_events_survive_partial_delete(self, rel_a, rel_c):
+        """A variable referenced by several lineages must outlive the
+        deletion of one of its tuples (refcounting, not 1:1 assumption)."""
+        from repro import tp_union
+
+        derived = tp_union(rel_a, rel_c)  # several tuples share a1, c1, …
+        store = SegmentStore.from_relation(derived)
+        victim = next(t for t in store.iter_sorted() if "a1" in str(t.lineage))
+        store.delete([(*victim.fact, victim.start, victim.end)])
+        assert "a1" in store.events  # other lineages still reference a1
+        remaining = store.snapshot()
+        assert remaining.materialize_probabilities() is not None
+
+    def test_base_root_view_over_unmaterialized_store(self, rel_a, rel_c):
+        """A view whose root is a bare scan must not write probabilities
+        into the store's own tuple lists (they would vanish on the next
+        flat-cache rebuild)."""
+        from repro import tp_except
+
+        derived = tp_except(rel_a, rel_c, materialize=False)  # p=None tuples
+        store = SegmentStore.from_relation(derived)
+        view = MaterializedView("v", parse_query("d"), {"d": store})
+        assert all(t.p is not None for t in view.relation())
+        reference = {
+            (t.fact, t.interval): t.p
+            for t in tp_except(rel_a, rel_c)
+        }
+        # Mutating the same fact group rebuilds the store's flat cache;
+        # the view must still serve fully materialized probabilities.
+        store.insert([("milk", 30, 32, 0.5)])
+        served = {(t.fact, t.interval): t.p for t in view.relation()}
+        for key, p in reference.items():
+            assert served[key] == pytest.approx(p)
+        assert all(p is not None for p in served.values())
+        # The store itself still holds its original unmaterialized tuples.
+        assert any(t.p is None for t in store.iter_sorted())
+
+    def test_unconsumed_store_log_is_capped(self):
+        from repro.store.segment import UNCONSUMED_LOG_CAP
+
+        store = SegmentStore("s", ("k",))
+        for i in range(UNCONSUMED_LOG_CAP + 50):
+            store.insert([("x", 2 * i, 2 * i + 1, 0.5)])
+        assert store.segment_stats()["log_entries"] == UNCONSUMED_LOG_CAP
+
+
+class TestMaintenanceRegistry:
+    def test_strategies_registered(self):
+        names = [s.name for s in view_maintenance_strategies()]
+        assert names == ["INCREMENTAL", "RECOMPUTE"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_view_maintenance_strategy("recompute").name == "RECOMPUTE"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            get_view_maintenance_strategy("MAGIC")
+
+
+class TestStandaloneViews:
+    def test_view_without_database(self, rel_a, rel_b):
+        a = SegmentStore.from_relation(rel_a)
+        b = SegmentStore.from_relation(rel_b)
+        view = MaterializedView("v", parse_query("a - b"), {"a": a, "b": b})
+        reference = tp_set_operation("except", a.snapshot(), b.snapshot())
+        assert view.relation().equivalent_to(reference)
+        a.apply(deletes=[("milk", 2, 10)], inserts=[("milk", 2, 6, 0.9)])
+        reference = tp_set_operation("except", a.snapshot(), b.snapshot())
+        assert view.relation().equivalent_to(reference)
+
+    def test_delete_everything(self, rel_a, rel_b):
+        a = SegmentStore.from_relation(rel_a)
+        b = SegmentStore.from_relation(rel_b)
+        view = MaterializedView("v", parse_query("a | b"), {"a": a, "b": b})
+        a.delete_where(lambda t: True)
+        b.delete_where(lambda t: True)
+        assert len(view.relation()) == 0
+        # Refill after total deletion.
+        a.insert([("milk", 1, 4, 0.5)])
+        assert len(view.relation()) == 1

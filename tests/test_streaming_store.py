@@ -1,0 +1,93 @@
+"""Streaming set operations fed by store segment iterators.
+
+Section VI-B's constant-space claim, delivered end to end: a
+:class:`SegmentStore` keeps its segments born-sorted, so
+:meth:`SegmentStore.iter_sorted` is a valid ``(F, Ts)``-ordered feed for
+``stream_union``/``stream_intersect``/``stream_except`` — no
+materialization, no sorting pass, on either side of the pipeline.  These
+tests pin the streamed output against the materialized fused kernels,
+before and after mutations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import stream_except, stream_intersect, stream_union, tp_set_operation
+from repro.datasets import generate_pair
+from repro.store import SegmentStore
+
+STREAMS = {
+    "union": stream_union,
+    "intersect": stream_intersect,
+    "except": stream_except,
+}
+
+
+def _triples(tuples):
+    return [(t.fact, t.start, t.end, t.lineage) for t in tuples]
+
+
+@pytest.fixture
+def stores(rel_a, rel_b):
+    return SegmentStore.from_relation(rel_a), SegmentStore.from_relation(rel_b)
+
+
+class TestStreamedStoreFeeds:
+    @pytest.mark.parametrize("op", list(STREAMS))
+    def test_stream_matches_materialized_kernel(self, stores, op):
+        r, s = stores
+        streamed = list(STREAMS[op](r.iter_sorted(), s.iter_sorted()))
+        kernel = tp_set_operation(op, r.snapshot(), s.snapshot(), materialize=False)
+        assert _triples(streamed) == _triples(kernel)
+
+    @pytest.mark.parametrize("op", list(STREAMS))
+    def test_stream_after_mutations(self, stores, op):
+        r, s = stores
+        r.apply(
+            inserts=[("milk", 12, 15, 0.5), ("beer", 0, 4, 0.4)],
+            deletes=[("chips", 4, 7)],
+        )
+        s.insert([("dates", 1, 6, 0.7)])
+        streamed = list(STREAMS[op](r.iter_sorted(), s.iter_sorted()))
+        kernel = tp_set_operation(op, r.snapshot(), s.snapshot(), materialize=False)
+        assert _triples(streamed) == _triples(kernel)
+
+    def test_feed_is_lazy(self, stores):
+        """The feed is a generator — consuming one output tuple must not
+        exhaust it (the constant-space contract)."""
+        r, s = stores
+        feed_r, feed_s = r.iter_sorted(), s.iter_sorted()
+        stream = stream_union(feed_r, feed_s)
+        first = next(stream)
+        assert first.lineage is not None
+        rest = list(stream)
+        kernel = tp_set_operation(
+            "union", r.snapshot(), s.snapshot(), materialize=False
+        )
+        assert _triples([first] + rest) == _triples(kernel)
+
+    def test_multi_segment_store_feed(self):
+        """Segment boundaries must be invisible to the stream consumer."""
+        r0, s0 = generate_pair(300, n_facts=3, seed=11)
+        r = SegmentStore.from_relation(r0)
+        s = SegmentStore.from_relation(s0)
+        # Force many segments.
+        tiny_r = SegmentStore("r", r.schema.attributes, segment_capacity=8)
+        tiny_r.insert([(*t.fact, t.start, t.end, t.p) for t in r0])
+        assert tiny_r.segment_stats()["segments"] > 3
+        streamed = list(stream_intersect(tiny_r.iter_sorted(), s.iter_sorted()))
+        kernel = tp_set_operation(
+            "intersect", tiny_r.snapshot(), s.snapshot(), materialize=False
+        )
+        # Identifiers differ (fresh store mints its own), so compare the
+        # temporal shape; lineage equality is covered by the fixtures above.
+        assert [(t.fact, t.start, t.end) for t in streamed] == [
+            (t.fact, t.start, t.end) for t in kernel
+        ]
+
+    def test_unsorted_feed_still_rejected(self, stores):
+        r, s = stores
+        backwards = reversed(list(r.iter_sorted()))
+        with pytest.raises(ValueError, match="sorted"):
+            list(stream_union(backwards, s.iter_sorted()))
