@@ -20,6 +20,14 @@ process, so it is stable —
   ``--pr3-min-speedup`` on every workload.  The committed full-scale
   record's ≥5x acceptance bar is asserted by ``bench_pr3.py`` itself at
   scale 1.0.
+* PR 4: parallel engine vs. serial kernels.  The
+  ``serial.min_s / parallel4.min_s`` speedup is same-machine,
+  same-process — machine-independent in the ratio sense — but only
+  meaningful when the runner actually has CPUs to parallelize over, so
+  the floor (``--pr4-min-speedup``, a smoke-scale value well below the
+  full-scale ≥2x bar asserted by ``bench_pr4.py`` on ≥4-CPU machines)
+  applies only when the smoke run's recorded ``cpu_count`` is ≥ 4; on
+  smaller runners the workloads are reported as skipped.
 
 The job fails when a smoke ratio exceeds ``tolerance`` times the
 committed ratio — i.e. the kernel lost more than that factor against
@@ -128,6 +136,49 @@ def check(
     return failures
 
 
+def check_parallel_speedup(
+    committed: dict,
+    smoke: dict,
+    min_speedup: float,
+    min_seconds: float,
+) -> list[str]:
+    """PR-4 gate: parallel-vs-serial speedup floor, CPU-gated.
+
+    Iterates the committed record's workloads (a smoke run that silently
+    dropped one cannot pass vacuously); skips entirely on runners with
+    fewer than 4 CPUs, where a wall-clock speedup is unattainable."""
+    cpu_count = smoke.get("meta", {}).get("cpu_count", 0)
+    if cpu_count < 4:
+        print(
+            f"  pr4: smoke runner has {cpu_count} CPU(s) — parallel "
+            f"speedup floor skipped (needs >= 4)"
+        )
+        return []
+    failures: list[str] = []
+    for key in committed["timings"]:
+        entry = smoke["timings"].get(key)
+        if entry is None:
+            failures.append(f"pr4 {key}: missing from the smoke run")
+            print(f"  pr4 {key}: MISSING from smoke run")
+            continue
+        serial_s = entry["serial"]["min_s"]
+        parallel_s = entry["parallel4"]["min_s"]
+        if serial_s < min_seconds:
+            print(f"  pr4 {key}: below {min_seconds}s — skipped (noise)")
+            continue
+        speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        print(
+            f"  pr4 {key}: serial/parallel4 speedup {speedup:.2f}x "
+            f"(floor {min_speedup}x) {verdict}"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"pr4 {key}: speedup {speedup:.2f}x < floor {min_speedup}x"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pr1-committed", type=Path, default=Path("BENCH_pr1.json"))
@@ -137,6 +188,9 @@ def main() -> int:
     parser.add_argument("--pr3-committed", type=Path, default=Path("BENCH_pr3.json"))
     parser.add_argument("--pr3-smoke", type=Path, default=None)
     parser.add_argument("--pr3-min-speedup", type=float, default=3.0)
+    parser.add_argument("--pr4-committed", type=Path, default=Path("BENCH_pr4.json"))
+    parser.add_argument("--pr4-smoke", type=Path, default=None)
+    parser.add_argument("--pr4-min-speedup", type=float, default=1.2)
     parser.add_argument("--tolerance", type=float, default=1.5)
     parser.add_argument("--min-seconds", type=float, default=0.002)
     args = parser.parse_args()
@@ -180,6 +234,20 @@ def main() -> int:
             args.pr3_min_speedup,
             args.min_seconds,
             "pr3",
+        )
+    if args.pr4_smoke is not None:
+        committed_pr4 = _load(args.pr4_committed)
+        committed_meta = committed_pr4.get("meta", {})
+        print(
+            f"PR4 (parallel engine vs serial kernels; committed record "
+            f"taken on {committed_meta.get('cpu_count', '?')} CPU(s), "
+            f"bar {committed_meta.get('speedup_bar', '?')}):"
+        )
+        failures += check_parallel_speedup(
+            committed_pr4,
+            _load(args.pr4_smoke),
+            args.pr4_min_speedup,
+            args.min_seconds,
         )
     if failures:
         print("\nbenchmark regressions detected:")

@@ -14,7 +14,9 @@ queries.  ``--apply name=delta.csv`` replays a delta file (insert and
 delete rows, see :mod:`repro.store.delta`) against a loaded relation
 before the query runs — the relation is converted to a mutable
 :class:`~repro.store.SegmentStore` and the batch applied as one
-transaction.
+transaction.  ``--parallel N`` executes the query (and any delta
+application) on an N-worker pool; results are bit-identical to serial
+execution (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -92,9 +94,23 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write the result to this .csv or .json file instead of stdout",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker-pool size for query execution and delta application "
+        "(default: serial, or the REPRO_PARALLEL environment variable); "
+        "results are bit-identical to serial execution",
+    )
     args = parser.parse_args(argv)
 
-    db = TPDatabase()
+    if args.parallel is not None and args.parallel < 1:
+        parser.error(
+            f"--parallel must be a positive worker count, got {args.parallel}"
+        )
+
+    db = TPDatabase(parallel=args.parallel)
     for spec in args.load:
         _load_spec(db, spec)
     for spec in args.apply:

@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 from ..baselines.interface import SetOpAlgorithm
 from ..core.errors import UnknownRelationError, UnsupportedOperationError
 from ..core.relation import TPRelation
+from ..exec.config import parallel_execution, parse_workers
 from ..query.analysis import QueryAnalysis, analyze
 from ..query.ast import QueryNode, relation_references
 from ..query.executor import execute_plan
@@ -72,9 +73,20 @@ class _RuntimeCatalog(Mapping[str, TPRelation]):
 
 
 class TPDatabase:
-    """An in-memory temporal-probabilistic database."""
+    """An in-memory temporal-probabilistic database.
 
-    def __init__(self) -> None:
+    ``parallel`` selects the worker-pool size for this database's query
+    execution, view maintenance and root valuation (DESIGN.md §10):
+    ``None`` inherits the ambient configuration (the ``REPRO_PARALLEL``
+    environment variable), ``1`` forces serial execution, ``N > 1`` runs
+    the parallel engine with N workers.  Results are bit-identical
+    either way.
+    """
+
+    def __init__(self, *, parallel: Optional[int] = None) -> None:
+        if parallel is not None:
+            parallel = parse_workers(str(parallel), source="parallel")
+        self.parallel = parallel
         self.catalog = Catalog()
         self._stores: dict[str, SegmentStore] = {}
         self._views: dict[str, MaterializedView] = {}
@@ -165,9 +177,10 @@ class TPDatabase:
         ``inserts`` rows are ``(*fact_values, ts, te, p)``; ``deletes``
         rows are ``(*fact_values, ts, te)``.  Eager views refresh before
         this returns."""
-        changeset = self.store(name).apply(inserts=inserts, deletes=deletes)
-        if changeset:
-            self._notify_views()
+        with parallel_execution(self.parallel):
+            changeset = self.store(name).apply(inserts=inserts, deletes=deletes)
+            if changeset:
+                self._notify_views()
         return changeset
 
     def insert(self, name: str, rows: Iterable[Sequence[object]]) -> ChangeSet:
@@ -220,7 +233,8 @@ class TPDatabase:
                 )
             stores[ref] = self.store(ref)
         view = MaterializedView(
-            name, query, stores, policy=policy, strategy=strategy
+            name, query, stores, policy=policy, strategy=strategy,
+            parallel=self.parallel,
         )
         self._views[name] = view
         return view
@@ -240,7 +254,8 @@ class TPDatabase:
     def refresh(self, name: Optional[str] = None) -> dict[str, bool]:
         """Refresh one view (or all); returns per-view "anything changed"."""
         views = [self.view(name)] if name is not None else self._views.values()
-        return {view.name: view.refresh() for view in views}
+        with parallel_execution(self.parallel):
+            return {view.name: view.refresh() for view in views}
 
     def _view_substitutions(self) -> dict[QueryNode, str]:
         """Defining ASTs of the views a query may transparently read.
@@ -289,7 +304,12 @@ class TPDatabase:
         if optimize or aggressive:
             ast = optimize_query(ast, aggressive=aggressive)
         plan = plan_query(ast, algorithm=algorithm, join_algorithm=join_algorithm)
-        return execute_plan(plan, _RuntimeCatalog(self), materialize=materialize)
+        return execute_plan(
+            plan,
+            _RuntimeCatalog(self),
+            materialize=materialize,
+            parallel=self.parallel,
+        )
 
     def analyze(self, text_or_ast: Union[str, QueryNode]) -> QueryAnalysis:
         """Static analysis: Theorem-1 safety, complexity class, shape."""

@@ -1,0 +1,217 @@
+"""Size-balanced, soundness-preserving work chunking (DESIGN.md §10.2).
+
+The sweep kernels are parallelized by sharding their inputs into chunks
+that are provably independent:
+
+* **Fact alignment.**  A LAWA window never spans two facts, so a chunk
+  boundary between two fact groups of the ``(F, Ts)``-sorted runs is
+  always sound: concatenating the per-chunk sweep outputs in chunk order
+  reproduces the full sweep's rows exactly.
+* **Coverage-gap splitting.**  One giant fact group would serialize the
+  pool (the fig-8 workloads are single-fact!), so oversized groups are
+  split *inside* the fact at **coverage gaps** — time points crossed by
+  no input tuple of either side.  Windows lie inside input intervals, so
+  no window crosses a gap, and the sweep state at a gap is exactly the
+  fresh-start state: the same locality argument that makes the
+  incremental view maintenance sound (DESIGN.md §9) makes this split
+  bit-identical.
+* **Size balancing.**  Chunks are a greedy contiguous partition targeting
+  equal combined tuple counts, with ``chunks_per_worker``-fold
+  oversubscription so uneven chunk costs rebalance across the pool.
+
+Everything here is a pure function of its inputs — chunk layout can
+never depend on worker timing, which is one half of the determinism
+argument (the other half is the order-preserving merge in
+:mod:`repro.exec.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.tuple import TPTuple
+
+__all__ = [
+    "ChunkSlices",
+    "aligned_chunks",
+    "balanced_partition",
+    "fact_runs",
+    "merged_group_items",
+    "split_group_at_gaps",
+]
+
+#: ((r_lo, r_hi), (s_lo, s_hi)) — one chunk's slice of each sorted run.
+ChunkSlices = tuple[tuple[int, int], tuple[int, int]]
+
+#: (r_lo, r_hi, s_lo, s_hi) — one shardable work item (a fact group, or
+#: a gap-delimited sub-range of one).
+GroupItem = tuple[int, int, int, int]
+
+
+def fact_runs(tuples: Sequence[TPTuple]) -> list[tuple[int, int]]:
+    """Contiguous equal-fact runs ``[lo, hi)`` of a ``(F, Ts)``-sorted list."""
+    runs: list[tuple[int, int]] = []
+    n = len(tuples)
+    i = 0
+    while i < n:
+        fact = tuples[i].fact
+        j = i + 1
+        while j < n and tuples[j].fact == fact:
+            j += 1
+        runs.append((i, j))
+        i = j
+    return runs
+
+
+def merged_group_items(
+    tr: Sequence[TPTuple], ts: Sequence[TPTuple]
+) -> list[GroupItem]:
+    """Fact groups of both runs, merged in the sweep's fact order.
+
+    Facts present on one side only get an empty slice on the other —
+    positioned at that side's current cursor, so every chunk formed from
+    consecutive items covers a contiguous slice of *both* runs.
+    """
+    r_runs = fact_runs(tr)
+    s_runs = fact_runs(ts)
+    items: list[GroupItem] = []
+    i = j = 0
+    while i < len(r_runs) and j < len(s_runs):
+        r_lo, r_hi = r_runs[i]
+        s_lo, s_hi = s_runs[j]
+        r_fact = tr[r_lo].fact
+        s_fact = ts[s_lo].fact
+        if r_fact == s_fact:
+            items.append((r_lo, r_hi, s_lo, s_hi))
+            i += 1
+            j += 1
+        elif r_fact < s_fact:
+            items.append((r_lo, r_hi, s_lo, s_lo))
+            i += 1
+        else:
+            items.append((r_lo, r_lo, s_lo, s_hi))
+            j += 1
+    s_cursor = len(ts)
+    for r_lo, r_hi in r_runs[i:]:
+        items.append((r_lo, r_hi, s_cursor, s_cursor))
+    r_cursor = len(tr)
+    for s_lo, s_hi in s_runs[j:]:
+        items.append((r_cursor, r_cursor, s_lo, s_hi))
+    return items
+
+
+def split_group_at_gaps(
+    tr: Sequence[TPTuple],
+    ts: Sequence[TPTuple],
+    item: GroupItem,
+    max_weight: int,
+) -> list[GroupItem]:
+    """Split one fact group at coverage gaps into bounded-size sub-items.
+
+    Walks both slices in merged start order, tracking the prefix-maximum
+    end point.  A position whose next start lies at or beyond that
+    maximum is a coverage gap — no tuple of either side crosses it, so no
+    window does either (DESIGN.md §10.2) — and becomes a cut once the
+    running sub-item holds at least ``max_weight`` tuples.  Groups
+    without usable gaps are returned whole (they stay one work item).
+    """
+    r_lo, r_hi, s_lo, s_hi = item
+    parts: list[GroupItem] = []
+    i, j = r_lo, s_lo
+    seg_r, seg_s = r_lo, s_lo
+    covered = None  # prefix-max end of tuples consumed so far
+    weight = 0
+    while i < r_hi or j < s_hi:
+        if j >= s_hi or (
+            i < r_hi and tr[i].interval.start <= ts[j].interval.start
+        ):
+            interval = tr[i].interval
+            from_r = True
+        else:
+            interval = ts[j].interval
+            from_r = False
+        if covered is not None and interval.start >= covered and weight >= max_weight:
+            parts.append((seg_r, i, seg_s, j))
+            seg_r, seg_s = i, j
+            weight = 0
+            covered = None
+        end = interval.end
+        if covered is None or end > covered:
+            covered = end
+        if from_r:
+            i += 1
+        else:
+            j += 1
+        weight += 1
+    parts.append((seg_r, r_hi, seg_s, s_hi))
+    return parts
+
+
+def balanced_partition(
+    weights: Sequence[int], n_chunks: int
+) -> list[tuple[int, int]]:
+    """Greedy contiguous partition of items into ≤ ``n_chunks`` spans.
+
+    Each span accumulates items until it reaches the remaining-average
+    target, so one heavy item takes a span of its own while the light
+    items around it fill the remaining spans evenly.  Pure function of
+    ``(weights, n_chunks)`` — never of worker timing.
+    """
+    n = len(weights)
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    remaining = sum(weights)
+    for k in range(n_chunks, 0, -1):
+        if lo >= n:
+            break
+        if k == 1:
+            spans.append((lo, n))
+            break
+        target = remaining / k
+        acc = 0
+        hi = lo
+        while hi < n:
+            acc += weights[hi]
+            hi += 1
+            if acc >= target:
+                break
+        spans.append((lo, hi))
+        remaining -= acc
+        lo = hi
+    return spans
+
+
+def aligned_chunks(
+    tr: Sequence[TPTuple],
+    ts: Sequence[TPTuple],
+    n_chunks: int,
+) -> list[ChunkSlices]:
+    """Size-balanced chunk slices of a sorted input pair.
+
+    Boundaries fall only between fact groups or at coverage gaps inside
+    an oversized group, so each chunk can be swept independently and the
+    concatenated outputs are bit-identical to the full sweep.
+    """
+    items = merged_group_items(tr, ts)
+    if not items:
+        return []
+    total = len(tr) + len(ts)
+    target = max(1, total // n_chunks)
+    sized: list[GroupItem] = []
+    for item in items:
+        r_lo, r_hi, s_lo, s_hi = item
+        weight = (r_hi - r_lo) + (s_hi - s_lo)
+        if weight > target + target // 2:
+            sized.extend(split_group_at_gaps(tr, ts, item, target))
+        else:
+            sized.append(item)
+    weights = [(r_hi - r_lo) + (s_hi - s_lo) for r_lo, r_hi, s_lo, s_hi in sized]
+    spans = balanced_partition(weights, n_chunks)
+    chunks: list[ChunkSlices] = []
+    for lo, hi in spans:
+        r_lo = sized[lo][0]
+        s_lo = sized[lo][2]
+        r_hi = sized[hi - 1][1]
+        s_hi = sized[hi - 1][3]
+        chunks.append(((r_lo, r_hi), (s_lo, s_hi)))
+    return chunks

@@ -1,0 +1,76 @@
+"""Worker-pool lifecycle and deterministic task mapping.
+
+One persistent :mod:`multiprocessing` pool per worker count, created
+lazily on first use and torn down at interpreter exit (or explicitly via
+:func:`shutdown_pools`, which the test suite uses between configuration
+changes).  The ``fork`` start method is preferred — workers inherit the
+loaded modules for free — with ``spawn`` as the portable fallback.
+
+Determinism: tasks are dispatched with :meth:`Pool.map`, whose results
+come back in *submission* order regardless of worker completion order.
+Combined with the pure-function chunker this makes the merged output a
+function of the input alone (DESIGN.md §10.4).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from typing import Any, Optional
+
+from .workers import init_worker, run_task
+
+__all__ = ["get_pool", "run_tasks", "shutdown_pools"]
+
+_POOLS: dict[int, Any] = {}
+
+
+def _context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def get_pool(workers: int):
+    """The persistent pool for ``workers`` processes (created lazily)."""
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = _context().Pool(processes=workers, initializer=init_worker)
+        _POOLS[workers] = pool
+    return pool
+
+
+def run_tasks(tasks: list, workers: int) -> list:
+    """Run tasks across the pool; results arrive in task order.
+
+    A single task is executed inline — same code, no transport.  A pool
+    whose map fails with an infrastructure error (worker death, broken
+    pipe) is discarded so the next call starts from a fresh pool;
+    ordinary exceptions raised *by* a task propagate unchanged.
+    """
+    if len(tasks) == 1:
+        return [run_task(tasks[0])]
+    pool = get_pool(workers)
+    try:
+        return pool.map(run_task, tasks, chunksize=1)
+    except (OSError, multiprocessing.ProcessError):
+        _discard(workers)
+        raise
+
+
+def _discard(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def shutdown_pools(workers: Optional[int] = None) -> None:
+    """Terminate one pool (or all) — used by tests and at exit."""
+    if workers is not None:
+        _discard(workers)
+        return
+    for count in list(_POOLS):
+        _discard(count)
+
+
+atexit.register(shutdown_pools)

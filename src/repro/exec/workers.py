@@ -1,0 +1,63 @@
+"""Pool-side task dispatch (runs inside worker processes).
+
+Tasks arrive pickled by the pool.  Sweep tasks carry index-coded wire
+rows (no lineage crosses the process boundary, see
+:mod:`repro.exec.kernels`); valuation tasks carry formulas in the §4.1
+batch-codec form (:mod:`repro.lineage.serialize`), which the worker
+decodes — and thereby re-interns — before valuating.
+
+Workers mark themselves serial on startup so a parallel-capable seam
+reached from inside a task can never recurse into the pool.
+"""
+
+from __future__ import annotations
+
+from ..lineage.formula import Lineage, Var
+from ..lineage.serialize import decode_batch
+from ..prob.exact_1of import _prob as _prob_1of
+from ..prob.shannon import probability_shannon
+from .config import mark_worker
+from .kernels import join_window_codes, sweep_codes
+
+__all__ = ["init_worker", "run_task"]
+
+
+def init_worker() -> None:
+    mark_worker()
+
+
+def _run_job(job: tuple) -> list:
+    if job[0] == "setop":
+        _, opcode, rows_r, rows_s = job
+        return sweep_codes(rows_r, rows_s, opcode)
+    _, policy, rows_l, rows_s = job
+    return join_window_codes(rows_l, rows_s, policy)
+
+
+def _valuate(formula: Lineage, events: dict) -> float:
+    """Exact valuation of one deterministic formula.
+
+    The parent ships only formulas the AUTO dispatch would compute
+    deterministically (atomic, 1OF, or Shannon-eligible), so the three
+    branches below reproduce ``probability_batch``'s values bit for bit.
+    """
+    if type(formula) is Var:
+        return events[formula.name]
+    if formula.is_1of:
+        return _prob_1of(formula, events)
+    return probability_shannon(formula, events)
+
+
+def run_task(task: tuple) -> list:
+    """Execute one pool task; the tag selects the payload layout."""
+    tag = task[0]
+    if tag == "setop":
+        _, opcode, rows_r, rows_s = task
+        return sweep_codes(rows_r, rows_s, opcode)
+    if tag == "jobs":
+        return [_run_job(job) for job in task[1]]
+    if tag == "valuate":
+        _, nodes, roots, events = task
+        formulas = decode_batch(nodes, roots)
+        return [_valuate(formula, events) for formula in formulas]
+    raise ValueError(f"unknown parallel task tag {tag!r}")

@@ -49,6 +49,7 @@ import random
 from enum import Enum
 from typing import Iterable, Mapping, Optional
 
+from ..exec.config import active_config as _active_parallel_config
 from ..lineage.formula import Lineage, Var
 from .bdd import probability_bdd
 from .exact_1of import _missing_variable, probability_1of
@@ -280,6 +281,56 @@ def valuation_cache_stats() -> dict[str, int]:
     }
 
 
+def _parallel_warm(
+    formulas: list,
+    bucket: dict,
+    probabilities: Mapping[str, float],
+    opts: "ProbabilityOptions",
+    parallel,
+) -> set:
+    """Pool-valuate a batch's distinct deterministic formulas into the memo.
+
+    Only formulas the AUTO dispatch computes deterministically are
+    farmed out (atomic variables are a plain dict probe — cheaper inline
+    — and Monte-Carlo-bound formulas must consume the caller's RNG in
+    serial order, so both stay in the parent).  Below the configured
+    batch threshold the scan returns without touching the pool.
+
+    Returns the warmed formulas, so the caller's counters can attribute
+    each one's first occurrence to a miss — exactly what the serial path
+    would have recorded.
+    """
+    if len(formulas) < parallel.min_formulas:
+        return set()
+    limit = opts.exact_repeated_limit
+    bucket_get = bucket.get
+    pending: list[Lineage] = []
+    seen: set[Lineage] = set()
+    for formula in formulas:
+        if (
+            type(formula) is Var
+            or formula in seen
+            or bucket_get(formula, _MISS) is not _MISS
+        ):
+            continue
+        seen.add(formula)
+        if formula.is_1of or formula.repeated_count() <= limit:
+            pending.append(formula)
+    if len(pending) < parallel.min_formulas:
+        return set()
+    from ..exec.engine import parallel_probability_values
+
+    values = parallel_probability_values(pending, probabilities, config=parallel)
+    if values is None:
+        return set()
+    cap = opts.cache_max_entries
+    for formula, value in zip(pending, values):
+        if len(bucket) >= cap:
+            bucket.clear()
+        bucket[formula] = value
+    return set(pending)
+
+
 # ----------------------------------------------------------------------
 # dispatch
 # ----------------------------------------------------------------------
@@ -418,12 +469,35 @@ def probability_batch(
         return out
 
     bucket = _memo_bucket(epoch)
+    warmed: set[Lineage] = set()
+    parallel = _active_parallel_config()
+    if parallel.enabled:
+        # Root-materialization parallelism (DESIGN.md §10.5): warm the
+        # memo bucket with pool-computed values for the batch's distinct
+        # deterministic formulas, then let the serial loop below serve
+        # them as ordinary memo hits.  Values are bit-identical to the
+        # serial computation, so the memo contents stay exact; the
+        # ``warmed`` set keeps the hit/miss counters exact too (a warmed
+        # formula's first occurrence counts as the miss it would have
+        # been serially).
+        lineages = lineages if isinstance(lineages, list) else list(lineages)
+        warmed = _parallel_warm(lineages, bucket, probabilities, opts, parallel)
     bucket_get = bucket.get
     limit = opts.cache_max_entries
     misses = hits = 0
     for formula in lineages:
         value = bucket_get(formula, _MISS)
+        if value is not _MISS and warmed and formula in warmed:
+            warmed.discard(formula)
+            misses += 1
+            append(value)
+            continue
         if value is _MISS:
+            if warmed:
+                # A warmed entry evicted by a mid-batch bucket clear:
+                # consume its marker here so later occurrences count as
+                # the hits they would have been serially.
+                warmed.discard(formula)
             misses += 1
             # Inlined AUTO fast paths — atomic lineages and 1OF formulas
             # cover every non-repeating set query (Theorem 1).  Keep in

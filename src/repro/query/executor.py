@@ -16,11 +16,12 @@ formula shared by many result tuples is valuated once.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Union
 
 from ..core.errors import UnknownRelationError
 from ..core.multiway import multi_intersect, multi_union
 from ..core.relation import TPRelation
+from ..exec.config import ParallelConfig, parallel_execution
 from .planner import (
     JoinPlan,
     MultiSetOpPlan,
@@ -38,11 +39,20 @@ def execute_plan(
     catalog: Mapping[str, TPRelation],
     *,
     materialize: bool = True,
+    parallel: Union[int, ParallelConfig, None] = None,
 ) -> TPRelation:
-    """Evaluate a physical plan against a catalog of named relations."""
-    result = _run(plan, catalog)
-    if materialize:
-        result = result.materialize_probabilities()
+    """Evaluate a physical plan against a catalog of named relations.
+
+    ``parallel`` overrides the active worker-pool configuration for this
+    plan (DESIGN.md §10): every parallel-capable operator under the plan
+    — set-operation sweeps, join drivers, and the root batch valuation —
+    runs under it.  ``None`` inherits the ambient configuration
+    (``REPRO_PARALLEL`` or an enclosing :func:`parallel_execution`).
+    """
+    with parallel_execution(parallel):
+        result = _run(plan, catalog)
+        if materialize:
+            result = result.materialize_probabilities()
     return result
 
 

@@ -43,7 +43,6 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from ..algebra.join import (
     JoinLayout,
-    join_group_rows,
     join_layout_from_schemas,
     tp_join_operation,
 )
@@ -52,9 +51,10 @@ from ..core.gtwindow import WINDOW_POLICIES, WindowPolicy
 from ..core.interval import Interval
 from ..core.relation import TPRelation
 from ..core.schema import Fact
-from ..core.setops import sweep_rows, tp_set_operation
+from ..core.setops import tp_set_operation
 from ..core.sorting import null_safe_fact_key
 from ..core.tuple import TPTuple
+from ..exec.config import parallel_execution
 from ..prob.valuation import ProbabilityOptions, probability_batch
 from ..query.ast import JoinNode, QueryNode, RelationRef, SelectionNode, SetOpNode
 from .segment import Region, SegmentStore
@@ -213,6 +213,21 @@ def _splice(
     return changed_ranges
 
 
+def _tuples_from_rows(rows: list) -> list[TPTuple]:
+    """Materialize kernel rows ``(fact, λ, winTs, winTe)`` as tuples."""
+    return [TPTuple(fact, lam, Interval(ts, te)) for fact, lam, ts, te in rows]
+
+
+def _group_rows_many(jobs: list) -> list[list]:
+    """Batch sweep jobs through :func:`repro.exec.engine.group_rows_many`.
+
+    Imported lazily so purely serial use of the store never loads the
+    pool machinery (the same deferral the batch operators practice)."""
+    from ..exec.engine import group_rows_many
+
+    return group_rows_many(jobs)
+
+
 # ----------------------------------------------------------------------
 # operator nodes
 # ----------------------------------------------------------------------
@@ -292,16 +307,17 @@ class _SetOpNode:
         # ranges), so index ∪ overlay always over-approximates the
         # crossing set — over-approximation merely widens a bit more.
         self._index: dict[Fact, list] = {}
-        for fact in set(left.facts()) | set(right.facts()):
-            tuples = self._compute(list(left.group(fact)), list(right.group(fact)))
-            if tuples:
-                self.cache[fact] = tuples
-
-    def _compute(self, lt: list[TPTuple], rt: list[TPTuple]) -> list[TPTuple]:
-        return [
-            TPTuple(fact, lam, Interval(ts, te))
-            for fact, lam, ts, te in sweep_rows(lt, rt, self.op)
+        facts = list(set(left.facts()) | set(right.facts()))
+        jobs = [
+            ("setop", self.op, list(left.group(fact)), list(right.group(fact)))
+            for fact in facts
         ]
+        # One batch through the kernel seam: serial by default, sharded
+        # across the worker pool under an active parallel configuration
+        # (bit-identical either way, DESIGN.md §10).
+        for fact, rows in zip(facts, _group_rows_many(jobs)):
+            if rows:
+                self.cache[fact] = _tuples_from_rows(rows)
 
     def pull(self) -> list[Region]:
         child_regions = self.left.pull() + self.right.pull()
@@ -310,7 +326,11 @@ class _SetOpNode:
         dirty: dict[Fact, list[list[int]]] = {}
         for fact, lo, hi in child_regions:
             dirty.setdefault(fact, []).append([lo, hi])
-        out: list[Region] = []
+        # Phase 1: widen every dirty fact's ranges and collect one sweep
+        # job per widened range (jobs are atomic per group range, so the
+        # pool shards them without ever splitting a group).
+        prepared: list[tuple[Fact, list]] = []
+        jobs: list = []
         for fact, ranges in dirty.items():
             lt = self.left.group(fact)
             rt = self.right.group(fact)
@@ -333,14 +353,23 @@ class _SetOpNode:
             )
             l_starts = _starts_of(lt)
             r_starts = _starts_of(rt)
-            parts = [
-                (
-                    (lo, hi),
-                    self._compute(
+            for lo, hi in widened:
+                jobs.append(
+                    (
+                        "setop",
+                        self.op,
                         _slice_run(lt, l_starts, lo, hi),
                         _slice_run(rt, r_starts, lo, hi),
-                    ),
+                    )
                 )
+            prepared.append((fact, widened))
+        # Phase 2: sweep all jobs (serial or pooled), then splice in the
+        # same deterministic order the serial engine used.
+        rows_iter = iter(_group_rows_many(jobs))
+        out: list[Region] = []
+        for fact, widened in prepared:
+            parts = [
+                ((lo, hi), _tuples_from_rows(next(rows_iter)))
                 for lo, hi in widened
             ]
             out.extend(
@@ -387,13 +416,22 @@ class _JoinNode:
             self._left_facts.setdefault(self._left_key(fact), set()).add(fact)
         for fact in right.facts():
             self._right_facts.setdefault(self._right_key(fact), set()).add(fact)
+        plans: list[tuple[tuple, list[TPTuple], bool]] = []
+        jobs: list = []
         for key in set(self._left_facts) | set(self._right_facts):
             if not self._can_emit(key):
                 continue
             group_l = self._gather(self.left, self._left_facts.get(key))
             group_s = self._gather(self.right, self._right_facts.get(key))
+            carried, job = self._group_plan(group_l, group_s)
+            if job is not None:
+                jobs.append(job)
+            plans.append((key, carried, job is not None))
+        rows_iter = iter(_group_rows_many(jobs))
+        for key, carried, has_job in plans:
+            rows = next(rows_iter) if has_job else []
             by_fact: dict[Fact, list[TPTuple]] = {}
-            for t in self._group_tuples(group_l, group_s):
+            for t in self._assemble(carried, rows):
                 by_fact.setdefault(t.fact, []).append(t)
             if by_fact:
                 self._out_facts[key] = set(by_fact)
@@ -434,16 +472,22 @@ class _JoinNode:
             out.extend(node.group(fact))
         return out
 
-    def _group_tuples(
+    def _group_plan(
         self, group_l: list[TPTuple], group_s: list[TPTuple]
-    ) -> list[TPTuple]:
-        """One key group's output tuples (lineage only), collapse-aware."""
+    ) -> tuple[list[TPTuple], Optional[tuple]]:
+        """One key group's work, collapse-aware: ``(carried, sweep job)``.
+
+        ``carried`` holds tuples the degenerate-layout collapses
+        (DESIGN.md §8.4) copy through without sweeping; the job — run
+        through :func:`repro.exec.engine.group_rows_many`, serially or
+        across the pool — produces the group's kernel rows.  Assembled by
+        :meth:`_assemble` in the same order the previous in-line code
+        emitted."""
         layout = self.layout
         policy = self.policy
         matches = policy.matches
         preserve_left = policy.preserve_left
         preserve_right = policy.preserve_right
-        out: list[TPTuple] = []
 
         if (
             matches
@@ -459,10 +503,7 @@ class _JoinNode:
                 for u in group_s
             ]
             projected.sort(key=lambda t: (null_safe_fact_key(t.fact), t.start))
-            return [
-                TPTuple(fact, lam, Interval(ts, te))
-                for fact, lam, ts, te in sweep_rows(group_l, projected, "union")
-            ]
+            return [], ("setop", "union", group_l, projected)
 
         carried: list[TPTuple] = []
         if matches and preserve_left and layout.s_degenerate:
@@ -478,12 +519,14 @@ class _JoinNode:
 
         if matches or preserve_left or preserve_right:
             sweep_policy = WindowPolicy(matches, preserve_left, preserve_right)
-            out.extend(
-                TPTuple(fact, lam, Interval(ts, te))
-                for fact, lam, ts, te in join_group_rows(
-                    layout, sweep_policy, group_l, group_s
-                )
-            )
+            return carried, ("join", layout, sweep_policy, group_l, group_s)
+        return carried, None
+
+    @staticmethod
+    def _assemble(carried: list[TPTuple], rows: list) -> list[TPTuple]:
+        """Kernel rows first, then the collapse-carried tuples — the
+        emission order of the pre-batching implementation."""
+        out = _tuples_from_rows(rows)
         out.extend(carried)
         return out
 
@@ -508,7 +551,11 @@ class _JoinNode:
         if not dirty:
             return []
 
-        out: list[Region] = []
+        # Phase 1: widen each dirty key's ranges and plan one sweep job
+        # per widened range (clipped sub-groups stay in (F, Ts) order —
+        # the group lists are fact-major and clip preserves that order).
+        prepared: list[tuple[tuple, list, list]] = []
+        jobs: list = []
         for key, ranges in dirty.items():
             if not self._can_emit(key) and not self._out_facts.get(key):
                 # The group can emit nothing and holds no stale cache to
@@ -522,14 +569,25 @@ class _JoinNode:
             widened = _merge_ranges(
                 _expand(lo, hi, [index]) for lo, hi in _merge_ranges(ranges)
             )
-            # The group lists are fact-major; clip preserves that order,
-            # so every re-swept sub-group stays in (F, Ts) order.
-            buckets: list[dict[Fact, list[TPTuple]]] = []
+            range_plans: list[tuple[list[TPTuple], bool]] = []
             for lo, hi in widened:
                 sub_l = self._clip(group_l, lo, hi)
                 sub_s = self._clip(group_s, lo, hi)
+                carried, job = self._group_plan(sub_l, sub_s)
+                if job is not None:
+                    jobs.append(job)
+                range_plans.append((carried, job is not None))
+            prepared.append((key, widened, range_plans))
+        # Phase 2: sweep all jobs (serial or pooled), then splice in the
+        # same deterministic order the serial engine used.
+        rows_iter = iter(_group_rows_many(jobs))
+        out: list[Region] = []
+        for key, widened, range_plans in prepared:
+            buckets: list[dict[Fact, list[TPTuple]]] = []
+            for carried, has_job in range_plans:
+                rows = next(rows_iter) if has_job else []
                 bucket: dict[Fact, list[TPTuple]] = {}
-                for t in self._group_tuples(sub_l, sub_s):
+                for t in self._assemble(carried, rows):
                     bucket.setdefault(t.fact, []).append(t)
                 for run in bucket.values():
                     run.sort(key=_interval_start)
@@ -576,11 +634,14 @@ class IncrementalEngine:
         query: QueryNode,
         stores: Mapping[str, SegmentStore],
         options: Optional[ProbabilityOptions] = None,
+        parallel: Optional[int] = None,
     ) -> None:
         self.events: dict[str, float] = {}
         self._options = options
+        self._parallel = parallel
         self._base_nodes: list[_BaseNode] = []
-        self.root = self._build(query, stores)
+        with parallel_execution(parallel):
+            self.root = self._build(query, stores)
         self.schema = self.root.schema
         self._revision = 0
         self._cached: Optional[tuple[int, TPRelation]] = None
@@ -594,7 +655,8 @@ class IncrementalEngine:
             owner = owner.child
         self._root_owns_cache = isinstance(owner, (_SetOpNode, _JoinNode))
         if self._root_owns_cache:
-            self._materialize_all()
+            with parallel_execution(parallel):
+                self._materialize_all()
 
     def _build(self, node: QueryNode, stores: Mapping[str, SegmentStore]):
         if isinstance(node, RelationRef):
@@ -626,12 +688,13 @@ class IncrementalEngine:
         return all(b.store.epoch == b.seen_epoch for b in self._base_nodes)
 
     def refresh(self) -> bool:
-        regions = self.root.pull()
-        if not regions:
-            return False
-        self._revision += 1
-        if self._root_owns_cache:
-            self._materialize_regions(regions)
+        with parallel_execution(self._parallel):
+            regions = self.root.pull()
+            if not regions:
+                return False
+            self._revision += 1
+            if self._root_owns_cache:
+                self._materialize_regions(regions)
         return True
 
     def _materialize(self, pending: list) -> None:
@@ -715,10 +778,12 @@ class RecomputeEngine:
         query: QueryNode,
         stores: Mapping[str, SegmentStore],
         options: Optional[ProbabilityOptions] = None,
+        parallel: Optional[int] = None,
     ) -> None:
         self._query = query
         self._stores = dict(stores)
         self._options = options
+        self._parallel = parallel
         self._seen: dict[str, int] = {}
         self._relation: Optional[TPRelation] = None
         self.refresh()
@@ -733,8 +798,9 @@ class RecomputeEngine:
     def refresh(self) -> bool:
         if self._relation is not None and self.is_fresh():
             return False
-        result = self._evaluate(self._query)
-        self._relation = result.materialize_probabilities(options=self._options)
+        with parallel_execution(self._parallel):
+            result = self._evaluate(self._query)
+            self._relation = result.materialize_probabilities(options=self._options)
         self._seen = {name: store.epoch for name, store in self._stores.items()}
         return True
 
@@ -790,6 +856,10 @@ class MaterializedView:
         Maintenance strategy name (:func:`repro.store.maintenance
         .maintenance_strategies`): ``INCREMENTAL`` (default) or
         ``RECOMPUTE``.
+    parallel:
+        Worker-pool size for this view's builds and refreshes
+        (DESIGN.md §10).  ``None`` inherits the ambient configuration;
+        results are bit-identical either way.
     """
 
     def __init__(
@@ -801,6 +871,7 @@ class MaterializedView:
         policy: str = "deferred",
         strategy: str = "INCREMENTAL",
         options: Optional[ProbabilityOptions] = None,
+        parallel: Optional[int] = None,
     ) -> None:
         if policy not in REFRESH_POLICIES:
             raise ValueError(
@@ -812,7 +883,7 @@ class MaterializedView:
         self.query = query
         self.policy = policy
         self.strategy = get_maintenance_strategy(strategy)
-        self._engine = self.strategy.build(query, stores, options)
+        self._engine = self.strategy.build(query, stores, options, parallel)
 
     def refresh(self) -> bool:
         """Bring the view up to date; True when anything changed."""

@@ -123,6 +123,80 @@ class TestDbCli:
             db_main(["--load", f"a={a_path}"])
 
 
+class TestDbCliParallel:
+    """--parallel N: bit-identical results through the worker pool."""
+
+    def _roundtrip(self, relation_files, tmp_path, out_name, parallel):
+        a_path, c_path = relation_files
+        out_path = tmp_path / out_name
+        argv = [
+            "--load", f"a={a_path}",
+            "--load", f"c={c_path}",
+            "--query", "a | c",
+            "--out", str(out_path),
+        ]
+        if parallel is not None:
+            argv += ["--parallel", str(parallel)]
+        code = db_main(argv)
+        assert code == 0
+        return out_path
+
+    def test_parallel_json_roundtrip_matches_serial(self, relation_files, tmp_path, capsys):
+        serial_path = self._roundtrip(relation_files, tmp_path, "serial.json", None)
+        parallel_path = self._roundtrip(relation_files, tmp_path, "parallel.json", 2)
+        serial = load_json(serial_path)
+        parallel = load_json(parallel_path)
+        assert len(parallel) == len(serial) == 9  # Fig. 3 union row count
+        assert parallel.equivalent_to(serial.rename(parallel.name), tol=0.0)
+
+    def test_parallel_csv_roundtrip_matches_serial(self, relation_files, tmp_path, capsys):
+        serial_path = self._roundtrip(relation_files, tmp_path, "serial.csv", None)
+        parallel_path = self._roundtrip(relation_files, tmp_path, "parallel.csv", 4)
+        assert serial_path.read_text() == parallel_path.read_text()
+
+    def test_parallel_with_apply_delta(self, relation_files, tmp_path, capsys):
+        a_path, c_path = relation_files
+        delta = tmp_path / "delta.csv"
+        delta.write_text(
+            "op,product,ts,te,p\n"
+            "+,beer,1,6,0.5\n"
+            "-,chips,4,7,\n"
+        )
+        out_path = tmp_path / "result.json"
+        code = db_main(
+            [
+                "--load", f"a={a_path}",
+                "--load", f"c={c_path}",
+                "--apply", f"a={delta}",
+                "--query", "a | a",
+                "--parallel", "2",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "applied delta.csv to a: +1 -1" in out
+        result = load_json(out_path)
+        facts = {t.fact[0] for t in result}
+        assert "beer" in facts and "chips" not in facts
+
+    def test_parallel_zero_rejected(self, relation_files, capsys):
+        a_path, _ = relation_files
+        with pytest.raises(SystemExit):
+            db_main(
+                ["--load", f"a={a_path}", "--query", "a", "--parallel", "0"]
+            )
+        assert "positive worker count" in capsys.readouterr().err
+
+    def test_parallel_negative_rejected(self, relation_files, capsys):
+        a_path, _ = relation_files
+        with pytest.raises(SystemExit):
+            db_main(
+                ["--load", f"a={a_path}", "--query", "a", "--parallel", "-3"]
+            )
+        assert "positive worker count" in capsys.readouterr().err
+
+
 class TestBenchCli:
     def test_table2_only(self, tmp_path, capsys):
         code = bench_main(["table2", "--outdir", str(tmp_path)])

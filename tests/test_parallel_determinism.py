@@ -1,0 +1,222 @@
+"""Determinism of the parallel engine, and its memo/interning contract.
+
+The engine's determinism argument (DESIGN.md §10.4) has two halves —
+chunk layout is a pure function of the input, and ``Pool.map`` merges in
+submission order regardless of worker completion order — so running the
+same plan twice under the pool must yield identical results, and those
+results must be indistinguishable (object-identity included) from the
+serial engine's.  On top of that, a parallel root materialization must
+leave the valuation memo as warm as a serial one would: pool-computed
+probabilities are seeded into the parent's memo bucket, so follow-up
+valuations over the same events epoch hit without recomputing.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.setops import tp_intersect, tp_union
+from repro.lineage.formula import FALSE, TRUE, Bottom, Top, Var, land, lnot, lor
+from repro.lineage.serialize import decode_batch, encode_batch
+from repro.datasets import generate_join_pair, generate_pair
+from repro.db.database import TPDatabase
+from repro.exec.config import (
+    ParallelConfig,
+    parallel_execution,
+    parse_workers,
+)
+from repro.exec.pool import shutdown_pools
+from repro.prob.valuation import (
+    clear_valuation_cache,
+    valuation_cache_stats,
+)
+
+
+def teardown_module(module) -> None:
+    shutdown_pools()
+
+
+def force_parallel(workers: int = 2) -> ParallelConfig:
+    return ParallelConfig(workers=workers, min_tuples=0, min_formulas=0)
+
+
+def assert_bit_identical(a, b) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.fact == y.fact
+        assert x.interval == y.interval
+        assert x.lineage is y.lineage
+        assert x.p == y.p
+
+
+class TestRepeatability:
+    def test_same_plan_twice_under_the_pool(self):
+        """Worker completion order cannot leak into the result."""
+        r, s = generate_pair(1500, n_facts=6, seed=2)
+        with parallel_execution(force_parallel(4)):
+            first = tp_union(r, s)
+            second = tp_union(r, s)
+        assert_bit_identical(first, second)
+
+    def test_database_query_repeatable(self):
+        db = TPDatabase(parallel=2)
+        r, s = generate_pair(1200, n_facts=5, seed=8)
+        db.register(r)
+        db.register(s)
+        with parallel_execution(force_parallel(2)):
+            first = db.query("(r | s) - (r & s)")
+            second = db.query("(r | s) - (r & s)")
+        assert_bit_identical(first, second)
+
+    def test_join_query_repeatable(self):
+        r, s = generate_join_pair(1200, n_keys=6, seed=5)
+        db = TPDatabase(parallel=2)
+        db.register(r)
+        db.register(s)
+        with parallel_execution(force_parallel(2)):
+            first = db.query("r LEFT OUTER JOIN s ON key")
+            second = db.query("r LEFT OUTER JOIN s ON key")
+        assert_bit_identical(first, second)
+
+
+class TestReinterning:
+    def test_parallel_formulas_are_serial_objects(self):
+        """Re-interned lineage is `is`-identical to serially-built."""
+        r, s = generate_pair(1500, n_facts=6, seed=4)
+        serial = tp_intersect(r, s)
+        with parallel_execution(force_parallel(2)):
+            parallel = tp_intersect(r, s)
+        assert_bit_identical(parallel, serial)
+
+    def test_chained_query_shares_interned_subformulas(self):
+        """Operators chained over pool outputs keep identity equality."""
+        r, s = generate_pair(1000, n_facts=4, seed=6)
+        serial = tp_union(tp_intersect(r, s), tp_union(r, s))
+        with parallel_execution(force_parallel(2)):
+            parallel = tp_union(tp_intersect(r, s), tp_union(r, s))
+        assert_bit_identical(parallel, serial)
+
+
+class TestMemoAfterParallelMaterialization:
+    def test_memo_hits_after_parallel_root(self):
+        """Pool-computed values are seeded into the parent's memo."""
+        clear_valuation_cache()
+        r, s = generate_pair(1500, n_facts=5, seed=3)
+        with parallel_execution(force_parallel(2)):
+            first = tp_union(r, s)
+        warmed = valuation_cache_stats()
+        assert warmed["entries"] > 0, "parallel root left the memo cold"
+        # The same operation, serial: every distinct lineage must hit.
+        second = tp_union(r, s)
+        stats = valuation_cache_stats()
+        assert stats["hits"] > warmed["hits"]
+        assert stats["misses"] == warmed["misses"], (
+            "serial follow-up recomputed probabilities the pool had "
+            "already materialized"
+        )
+        assert_bit_identical(first, second)
+
+    def test_parallel_values_equal_serial_values(self):
+        """The memo is seeded with bit-identical floats."""
+        r, s = generate_pair(1500, n_facts=5, seed=10)
+        clear_valuation_cache()
+        serial = tp_union(r, s)
+        clear_valuation_cache()
+        with parallel_execution(force_parallel(2)):
+            parallel = tp_union(r, s)
+        assert_bit_identical(parallel, serial)
+
+
+_pa, _pb, _pc = Var("pa"), Var("pb"), Var("pc")
+
+
+@st.composite
+def _formulas(draw, depth: int = 3):
+    if depth == 0:
+        return draw(st.sampled_from([_pa, _pb, _pc]))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(st.sampled_from([_pa, _pb, _pc]))
+    if kind == 1:
+        return lnot(draw(_formulas(depth=depth - 1)))
+    left = draw(_formulas(depth=depth - 1))
+    right = draw(_formulas(depth=depth - 1))
+    return land(left, right) if kind == 2 else lor(left, right)
+
+
+class TestLineageBatchCodec:
+    """The §4.1 batch codec the valuation tasks ship formulas with."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_formulas(), max_size=8))
+    def test_round_trip_is_identity(self, batch):
+        batch = [f for f in batch if not isinstance(f, (Top, Bottom))]
+        nodes, roots = encode_batch(batch)
+        decoded = decode_batch(nodes, roots)
+        assert len(decoded) == len(batch)
+        for back, original in zip(decoded, batch):
+            assert back is original  # re-interning == same process identity
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_formulas(), max_size=8))
+    def test_wire_form_survives_pickling(self, batch):
+        batch = [f for f in batch if not isinstance(f, (Top, Bottom))]
+        encoded = pickle.loads(pickle.dumps(encode_batch(batch), protocol=-1))
+        assert decode_batch(*encoded) == batch
+
+    def test_shared_subformulas_encoded_once(self):
+        shared = land(_pa, _pb)
+        nodes, roots = encode_batch([shared, lor(shared, _pc)])
+        # pa, pb, pa∧pb, pc, (pa∧pb)∨pc — the shared node appears once.
+        assert len(nodes) == 5
+        assert roots == [2, 4]
+
+    def test_constants_are_rejected(self):
+        with pytest.raises(TypeError):
+            encode_batch([TRUE])
+        with pytest.raises(TypeError):
+            encode_batch([FALSE])
+
+
+class TestConfigValidation:
+    def test_parse_workers_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive worker count"):
+            parse_workers("0")
+        with pytest.raises(ValueError, match="positive worker count"):
+            parse_workers("-3")
+        with pytest.raises(ValueError, match="integer"):
+            parse_workers("many")
+        assert parse_workers("4") == 4
+
+    def test_config_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=0)
+
+    def test_database_rejects_nonpositive_parallel(self):
+        with pytest.raises(ValueError, match="positive worker count"):
+            TPDatabase(parallel=0)
+        with pytest.raises(ValueError, match="positive worker count"):
+            TPDatabase(parallel=-2)
+
+    def test_context_manager_restores(self):
+        from repro.exec.config import active_config
+
+        before = active_config()
+        with parallel_execution(force_parallel(3)) as cfg:
+            assert cfg.workers == 3
+            assert active_config() is cfg
+        assert active_config() == before
+
+    def test_serial_config_disables_engine(self):
+        from repro.exec import engine
+
+        r, s = generate_pair(400, n_facts=4, seed=1)
+        tr, ts = r.sorted_tuples(), s.sorted_tuples()
+        assert (
+            engine.setop_sweep_rows(tr, ts, "union", config=ParallelConfig())
+            is None
+        )
