@@ -28,6 +28,13 @@ process, so it is stable —
   full-scale ≥2x bar asserted by ``bench_pr4.py`` on ≥4-CPU machines)
   applies only when the smoke run's recorded ``cpu_count`` is ≥ 4; on
   smaller runners the workloads are reported as skipped.
+* PR 5: cost-based optimizer vs. unoptimized plans.  The
+  ``unoptimized.min_s / optimized.min_s`` speedup is same-machine,
+  same-process; the floor (``--pr5-min-speedup``) gates the
+  ``pushdown_*`` workloads only (the flattening-only workload's payoff
+  is scale-dependent and reported informationally) and — like the PR-4
+  gate — is CPU-gated: skipped when the smoke runner has < 2 CPUs,
+  where single-run wall-clock ratios are too noisy to fail a build on.
 
 The job fails when a smoke ratio exceeds ``tolerance`` times the
 committed ratio — i.e. the kernel lost more than that factor against
@@ -179,6 +186,55 @@ def check_parallel_speedup(
     return failures
 
 
+def check_optimizer_speedup(
+    committed: dict,
+    smoke: dict,
+    min_speedup: float,
+    min_seconds: float,
+) -> list[str]:
+    """PR-5 gate: optimized-vs-unoptimized speedup floor, CPU-gated.
+
+    Iterates the committed record's workloads (a smoke run that silently
+    dropped one cannot pass vacuously).  Only ``pushdown_*`` workloads
+    are gated — they are the ones the optimizer must win outright;
+    everything else is printed informationally."""
+    cpu_count = smoke.get("meta", {}).get("cpu_count", 0)
+    if cpu_count < 2:
+        print(
+            f"  pr5: smoke runner has {cpu_count} CPU(s) — optimizer "
+            f"speedup floor skipped (needs >= 2 for stable ratios)"
+        )
+        return []
+    failures: list[str] = []
+    for key in committed["timings"]:
+        entry = smoke["timings"].get(key)
+        gated = key.startswith("pushdown")
+        if entry is None:
+            if gated:
+                failures.append(f"pr5 {key}: missing from the smoke run")
+                print(f"  pr5 {key}: MISSING from smoke run")
+            continue
+        unopt_s = entry["unoptimized"]["min_s"]
+        opt_s = entry["optimized"]["min_s"]
+        if unopt_s < min_seconds:
+            print(f"  pr5 {key}: below {min_seconds}s — skipped (noise)")
+            continue
+        speedup = unopt_s / opt_s if opt_s > 0 else float("inf")
+        if not gated:
+            print(f"  pr5 {key}: speedup {speedup:.2f}x (informational)")
+            continue
+        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        print(
+            f"  pr5 {key}: unoptimized/optimized speedup {speedup:.2f}x "
+            f"(floor {min_speedup}x) {verdict}"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"pr5 {key}: speedup {speedup:.2f}x < floor {min_speedup}x"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pr1-committed", type=Path, default=Path("BENCH_pr1.json"))
@@ -191,6 +247,9 @@ def main() -> int:
     parser.add_argument("--pr4-committed", type=Path, default=Path("BENCH_pr4.json"))
     parser.add_argument("--pr4-smoke", type=Path, default=None)
     parser.add_argument("--pr4-min-speedup", type=float, default=1.2)
+    parser.add_argument("--pr5-committed", type=Path, default=Path("BENCH_pr5.json"))
+    parser.add_argument("--pr5-smoke", type=Path, default=None)
+    parser.add_argument("--pr5-min-speedup", type=float, default=1.2)
     parser.add_argument("--tolerance", type=float, default=1.5)
     parser.add_argument("--min-seconds", type=float, default=0.002)
     args = parser.parse_args()
@@ -247,6 +306,22 @@ def main() -> int:
             committed_pr4,
             _load(args.pr4_smoke),
             args.pr4_min_speedup,
+            args.min_seconds,
+        )
+    if args.pr5_smoke is not None:
+        committed_pr5 = _load(args.pr5_committed)
+        committed_meta = committed_pr5.get("meta", {})
+        print(
+            f"PR5 (cost-based optimizer vs unoptimized plans; committed "
+            f"record taken on {committed_meta.get('cpu_count', '?')} CPU(s), "
+            f"best pushdown speedup "
+            f"{committed_meta.get('best_pushdown_speedup', '?')}x, bar "
+            f"{committed_meta.get('speedup_bar', '?')}):"
+        )
+        failures += check_optimizer_speedup(
+            committed_pr5,
+            _load(args.pr5_smoke),
+            args.pr5_min_speedup,
             args.min_seconds,
         )
     if failures:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence
 
+from .sorting import sort_key_le
 from .tuple import TPTuple
 from .window import LineageWindow
 
@@ -129,7 +130,7 @@ class LawaSweep:
             elif r is None and s is None:
                 return None
             else:
-                if s is None or (r is not None and r.sort_key <= s.sort_key):
+                if s is None or (r is not None and sort_key_le(r, s)):
                     opener = r
                 else:
                     opener = s

@@ -29,6 +29,7 @@ from ..prob.valuation import probability_batch
 from .errors import UnsupportedOperationError
 from .interval import Interval
 from .relation import TPRelation
+from .sorting import sort_key_lt
 from .tuple import TPTuple
 
 __all__ = ["multi_union", "multi_intersect", "MultiwaySweep", "MultiWindow"]
@@ -105,7 +106,7 @@ class MultiwaySweep:
             else:
                 opener: Optional[TPTuple] = None
                 for h in heads:
-                    if h is not None and (opener is None or h.sort_key < opener.sort_key):
+                    if h is not None and (opener is None or sort_key_lt(h, opener)):
                         opener = h
                 if opener is None:
                     return None

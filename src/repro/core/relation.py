@@ -256,7 +256,11 @@ class TPRelation:
         """Selection σ by attribute equality, e.g. ``r.select(product='milk')``.
 
         The result keeps the full event map; lineage is unchanged
-        (selection never merges or splits intervals).
+        (selection never merges or splits intervals).  Sortedness
+        propagates: filtering a ``(F, Ts)``-ordered relation keeps the
+        order, so downstream sweeps over the selection never re-sort —
+        which also keeps null-padded outer-join outputs (born sorted in
+        the null-safe order) sortable at all.
         """
         indexes = {
             self.schema.index_of(attribute): value
@@ -274,13 +278,15 @@ class TPRelation:
             kept,
             self.events,
             validate=False,
+            assume_sorted=self.is_sorted_by_fact_ts,
         )
 
     def where(self, predicate: Callable[[TPTuple], bool]) -> "TPRelation":
-        """Selection by arbitrary tuple predicate."""
+        """Selection by arbitrary tuple predicate (sortedness propagates)."""
         kept = [t for t in self._tuples if predicate(t)]
         return TPRelation(
-            f"σ({self.name})", self.schema, kept, self.events, validate=False
+            f"σ({self.name})", self.schema, kept, self.events,
+            validate=False, assume_sorted=self.is_sorted_by_fact_ts,
         )
 
     def rename(self, name: str) -> "TPRelation":

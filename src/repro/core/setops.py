@@ -45,7 +45,7 @@ from .errors import UnsupportedOperationError
 from .interval import Interval
 from .lawa import LawaSweep
 from .relation import TPRelation
-from .sorting import sort_tuples
+from .sorting import fact_lt, sort_tuples
 from .tuple import TPTuple
 from .window import LineageWindow
 
@@ -234,9 +234,9 @@ def _fused_sweep(
                     break
                 fact = st_fact
                 win_ts = st_start
-            elif st is None or rt_fact < st_fact or (
+            elif st is None or (
                 rt_fact == st_fact and rt_start <= st_start
-            ):
+            ) or (rt_fact != st_fact and fact_lt(rt_fact, st_fact)):
                 fact = rt_fact
                 win_ts = rt_start
             else:

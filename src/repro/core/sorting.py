@@ -28,13 +28,56 @@ __all__ = [
     "sort_counting",
     "sort_tuples",
     "is_sorted",
+    "fact_lt",
     "null_safe_key",
     "null_safe_fact_key",
+    "sort_key_le",
+    "sort_key_lt",
 ]
 
 
 def _full_key(t: TPTuple) -> tuple:
     return (t.fact, t.interval.start, t.interval.end)
+
+
+def fact_lt(a, b) -> bool:
+    """``a < b`` on facts, total also for null-padded facts.
+
+    The sweep kernels compare facts only when *crossing* fact groups
+    (opening a fresh window, merging group lists) — a cold path — but a
+    raw tuple comparison is untyped once outer-join outputs put ``None``
+    next to concrete values.  The raw order is tried first (free when it
+    succeeds, and identical to the null-safe order wherever it is
+    defined, since any pair the raw comparison decides never reaches a
+    ``None``); the :func:`null_safe_fact_key` convention decides the
+    rest.  Inputs containing such facts are always born sorted in that
+    same convention (the join kernels emit it), so cursor advancement
+    stays consistent with the input order.
+    """
+    try:
+        return a < b
+    except TypeError:
+        return null_safe_fact_key(a) < null_safe_fact_key(b)
+
+
+def sort_key_lt(a: TPTuple, b: TPTuple) -> bool:
+    """``a.sort_key < b.sort_key``, total for null-padded facts."""
+    try:
+        return a.sort_key < b.sort_key
+    except TypeError:
+        return (null_safe_fact_key(a.fact), a.interval.start) < (
+            null_safe_fact_key(b.fact), b.interval.start,
+        )
+
+
+def sort_key_le(a: TPTuple, b: TPTuple) -> bool:
+    """``a.sort_key <= b.sort_key``, total for null-padded facts."""
+    try:
+        return a.sort_key <= b.sort_key
+    except TypeError:
+        return (null_safe_fact_key(a.fact), a.interval.start) <= (
+            null_safe_fact_key(b.fact), b.interval.start,
+        )
 
 
 def null_safe_fact_key(fact) -> tuple:

@@ -16,7 +16,12 @@ before the query runs — the relation is converted to a mutable
 :class:`~repro.store.SegmentStore` and the batch applied as one
 transaction.  ``--parallel N`` executes the query (and any delta
 application) on an N-worker pool; results are bit-identical to serial
-execution (DESIGN.md §10).
+execution (DESIGN.md §10).  ``--optimize {off,safe,aggressive}`` runs
+the cost-based optimizer over the query (DESIGN.md §11); prefixing the
+query with ``EXPLAIN`` (or using ``--explain``) prints the chosen plan
+with estimated vs. actual row counts instead of the result table::
+
+    python -m repro.db --load a=a.csv --query "EXPLAIN a | a" --optimize safe
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..query.optimize import OPTIMIZE_LEVELS
 from ..store import load_delta
 from .database import TPDatabase
 from .io import load_csv, load_json, save_csv, save_json
@@ -103,11 +109,26 @@ def main(argv: list[str] | None = None) -> int:
         "(default: serial, or the REPRO_PARALLEL environment variable); "
         "results are bit-identical to serial execution",
     )
+    parser.add_argument(
+        "--optimize",
+        default="off",
+        metavar="LEVEL",
+        help="query optimization level: off (default), safe (cost-based "
+        "lineage-identical rewrites: selection pushdown, multiway "
+        "flattening, join reassociation) or aggressive (additionally "
+        "difference fusion and operand reordering; same facts, intervals "
+        "and probabilities, lineage form may differ)",
+    )
     args = parser.parse_args(argv)
 
     if args.parallel is not None and args.parallel < 1:
         parser.error(
             f"--parallel must be a positive worker count, got {args.parallel}"
+        )
+    if args.optimize not in OPTIMIZE_LEVELS:
+        parser.error(
+            f"--optimize must be one of {', '.join(OPTIMIZE_LEVELS)}, "
+            f"got {args.optimize!r}"
         )
 
     db = TPDatabase(parallel=args.parallel)
@@ -117,12 +138,24 @@ def main(argv: list[str] | None = None) -> int:
         _apply_spec(db, spec)
 
     if args.explain:
-        print(db.explain(args.explain, algorithm=args.algorithm))
+        print(
+            db.explain(
+                args.explain, algorithm=args.algorithm, optimize=args.optimize
+            )
+        )
         return 0
     if not args.query:
         parser.error("one of --query or --explain is required")
 
-    result = db.query(args.query, algorithm=args.algorithm)
+    result = db.query(args.query, algorithm=args.algorithm, optimize=args.optimize)
+    if isinstance(result, str):  # EXPLAIN-prefixed query: print the report
+        if args.out:
+            parser.error(
+                "--out expects a relation result; it cannot be combined "
+                "with an EXPLAIN query"
+            )
+        print(result)
+        return 0
     if args.out:
         out = Path(args.out)
         renamed = result.rename(out.stem)

@@ -30,16 +30,23 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..baselines.interface import SetOpAlgorithm
-from ..core.errors import UnknownRelationError, UnsupportedOperationError
+from ..core.errors import (
+    QueryParseError,
+    UnknownRelationError,
+    UnsupportedOperationError,
+)
 from ..core.relation import TPRelation
 from ..exec.config import parallel_execution, parse_workers
 from ..query.analysis import QueryAnalysis, analyze
 from ..query.ast import QueryNode, relation_references
+from ..query.cost import PlanChoice, choose_plan
 from ..query.executor import execute_plan
-from ..query.optimize import optimize_query
-from ..query.parser import parse_query
+from ..query.explain import render_explain
+from ..query.optimize import resolve_level, schemas_from_stats
+from ..query.parser import parse_query, strip_explain_prefix
 from ..query.planner import plan_query, substitute_views
-from ..store import ChangeSet, Delta, MaterializedView, SegmentStore
+from ..query.stats import RelationStats, relation_stats
+from ..store import ChangeSet, Delta, MaterializedView, SegmentStore, StoreStatistics
 from .catalog import Catalog
 
 __all__ = ["TPDatabase"]
@@ -90,6 +97,7 @@ class TPDatabase:
         self.catalog = Catalog()
         self._stores: dict[str, SegmentStore] = {}
         self._views: dict[str, MaterializedView] = {}
+        self._store_stats: dict[str, StoreStatistics] = {}
 
     # ------------------------------------------------------------------
     # data definition
@@ -138,6 +146,7 @@ class TPDatabase:
                     f"{', '.join(sorted(dependents))} — drop them first"
                 )
             del self._stores[name]
+            self._store_stats.pop(name, None)
         self.catalog.register(relation, replace=replace)
 
     def relation(self, name: str) -> TPRelation:
@@ -270,6 +279,43 @@ class TPDatabase:
         }
 
     # ------------------------------------------------------------------
+    # statistics (the optimizer's input, DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def stats_of(self, name: str) -> RelationStats:
+        """Statistics of a relation, store or view, by name.
+
+        Plain catalog relations are summarized lazily (cached per
+        relation object — relations are immutable); store-backed
+        relations are maintained incrementally from the change log
+        (:class:`~repro.store.StoreStatistics`); views are summarized
+        from their current materialized result.
+        """
+        if name in self._views:
+            return relation_stats(self._views[name].relation())
+        store = self._stores.get(name)
+        if store is not None:
+            maintainer = self._store_stats.get(name)
+            if maintainer is None or maintainer._store is not store:
+                maintainer = StoreStatistics(store)
+                self._store_stats[name] = maintainer
+            return maintainer.current()
+        return relation_stats(self.catalog[name])
+
+    def _stats_catalog(self, ast: QueryNode) -> dict[str, RelationStats]:
+        """Statistics for every relation a query references (best effort:
+        unknown names are simply absent — the estimator uses defaults,
+        and execution reports the error with its usual message)."""
+        stats: dict[str, RelationStats] = {}
+        for name in relation_references(ast):
+            if name in stats:
+                continue
+            try:
+                stats[name] = self.stats_of(name)
+            except KeyError:
+                continue
+        return stats
+
+    # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
     def query(
@@ -279,30 +325,70 @@ class TPDatabase:
         algorithm: Union[str, SetOpAlgorithm, None] = None,
         join_algorithm: Optional[str] = None,
         materialize: bool = True,
-        optimize: bool = False,
+        optimize: Union[bool, str, None] = False,
         aggressive: bool = False,
         use_views: bool = True,
-    ) -> TPRelation:
+    ) -> Union[TPRelation, str]:
         """Parse, plan and execute a TP set query.
 
         ``algorithm`` selects the physical operator for every set
         operation (default LAWA); Table-II capability violations raise at
         planning time.  ``join_algorithm`` selects the operator for every
         join node (default GTWINDOW, the generalized-window kernel;
-        NAIVE-SWEEP runs the sweepline reference).  ``optimize=True``
-        flattens associative ∪/∩ chains into single-pass multiway sweeps
-        (lineage-identical); ``aggressive=True`` additionally fuses
-        difference chains, ``(a − b) − c → a − (b ∪ c)``, which preserves
-        facts, intervals and probabilities but changes the lineage form.
+        NAIVE-SWEEP runs the sweepline reference).
+
+        ``optimize`` selects the optimization level: ``'off'`` (default)
+        runs the plan the parser produced; ``'safe'`` (or ``True``) runs
+        the cost-based optimizer over the lineage-identical rewrites —
+        selection pushdown to the scans (through set operations and
+        joins), associative flattening into multiway sweeps, and inner
+        natural-join reassociation, scored by estimated sweep rows from
+        the statistics catalog; ``'aggressive'`` (or ``aggressive=True``)
+        additionally considers difference fusion ``(a − b) − c →
+        a − (b ∪ c)`` and cardinality-ordered multiway operands, which
+        preserve facts, intervals and probabilities but may change the
+        lineage *form*.
+
         ``use_views=True`` (default) lets the planner replace subqueries
         matching a fresh materialized view's definition by a read of the
-        maintained result.
+        maintained result; under the optimizer the match is modulo the
+        safe rewrites.
+
+        A textual query may carry an ``EXPLAIN`` prefix; the plan is
+        then executed once and the report — the chosen plan annotated
+        with estimated vs. actual row counts — is returned as a string
+        instead of a relation.
         """
-        ast = self._to_ast(text_or_ast)
-        if use_views and self._views:
-            ast = substitute_views(ast, self._view_substitutions())
-        if optimize or aggressive:
-            ast = optimize_query(ast, aggressive=aggressive)
+        if isinstance(text_or_ast, str):
+            stripped = strip_explain_prefix(text_or_ast)
+            if stripped is not None:
+                # Keywords are not reserved as relation names (PR 2's
+                # convention): when the remainder is not a query but the
+                # whole text is — e.g. ``explain | a`` over a relation
+                # named ``explain`` — run the whole text as the query.
+                # Plain juxtaposition is never valid syntax, so the two
+                # readings cannot both parse.
+                try:
+                    explained = parse_query(stripped)
+                except QueryParseError:
+                    try:
+                        text_or_ast = parse_query(text_or_ast)
+                    except QueryParseError:
+                        raise QueryParseError(
+                            f"EXPLAIN target does not parse: {stripped!r}"
+                        ) from None
+                else:
+                    return self.explain(
+                        explained,
+                        algorithm=algorithm,
+                        join_algorithm=join_algorithm,
+                        optimize=optimize,
+                        aggressive=aggressive,
+                        use_views=use_views,
+                        analyze=True,
+                    )
+        level = resolve_level(optimize, aggressive)
+        ast, _, _ = self._optimize(self._to_ast(text_or_ast), level, use_views)
         plan = plan_query(ast, algorithm=algorithm, join_algorithm=join_algorithm)
         return execute_plan(
             plan,
@@ -310,6 +396,33 @@ class TPDatabase:
             materialize=materialize,
             parallel=self.parallel,
         )
+
+    def _optimize(
+        self, ast: QueryNode, level: str, use_views: bool
+    ) -> tuple[QueryNode, Optional[PlanChoice], dict[str, RelationStats]]:
+        """The shared front half of ``query`` and ``explain``: view
+        substitution plus the cost-based (or no-op) rewrite."""
+        stats = self._stats_catalog(ast) if level != "off" else {}
+        if use_views and self._views:
+            ast = substitute_views(
+                ast,
+                self._view_substitutions(),
+                canonical=level != "off",
+                schemas=schemas_from_stats(stats, ast) if stats else None,
+            )
+        if level == "off":
+            return ast, None, stats
+        # View substitution may have replaced subtrees by view scans the
+        # original reference walk did not see — top the stats up.
+        for name, entry in self._stats_catalog(ast).items():
+            stats.setdefault(name, entry)
+        choice = choose_plan(
+            ast,
+            stats,
+            aggressive=level == "aggressive",
+            workers=self.parallel,
+        )
+        return choice.chosen, choice, stats
 
     def analyze(self, text_or_ast: Union[str, QueryNode]) -> QueryAnalysis:
         """Static analysis: Theorem-1 safety, complexity class, shape."""
@@ -321,23 +434,51 @@ class TPDatabase:
         *,
         algorithm: Union[str, SetOpAlgorithm, None] = None,
         join_algorithm: Optional[str] = None,
-        optimize: bool = False,
+        optimize: Union[bool, str, None] = False,
         aggressive: bool = False,
         use_views: bool = True,
+        analyze: bool = False,
     ) -> str:
-        """Render the physical plan plus the static analysis report."""
+        """Render the chosen plan with estimates, plus the static analysis.
+
+        Every plan node is annotated with the cost model's estimated
+        output rows and cumulative cost (in sweep rows); under
+        ``analyze=True`` the plan is executed once and each node
+        additionally reports its *actual* row count, making estimate
+        drift visible.  ``optimize`` accepts the same levels as
+        :meth:`query`.
+        """
+        from ..query.analysis import analyze as _analyze
+
         ast = self._to_ast(text_or_ast)
-        analysis = analyze(ast)
-        lowered = ast
-        if use_views and self._views:
-            lowered = substitute_views(lowered, self._view_substitutions())
-        if optimize or aggressive:
-            lowered = optimize_query(lowered, aggressive=aggressive)
+        analysis = _analyze(ast)
+        level = resolve_level(optimize, aggressive)
+        lowered, choice, stats = self._optimize(ast, level, use_views)
+        if not stats:
+            stats = self._stats_catalog(lowered)
         plan = plan_query(lowered, algorithm=algorithm, join_algorithm=join_algorithm)
-        return (
-            f"query: {lowered}\n"
-            f"{plan.describe()}\n"
-            f"--\n{analysis.describe()}"
+        actuals: Optional[dict[tuple, int]] = None
+        if analyze:
+            counts: dict[tuple, int] = {}
+            execute_plan(
+                plan,
+                _RuntimeCatalog(self),
+                materialize=False,
+                parallel=self.parallel,
+                observe=lambda path, _node, result: counts.__setitem__(
+                    path, len(result)
+                ),
+            )
+            actuals = counts
+        return render_explain(
+            lowered,
+            plan,
+            stats,
+            level=level,
+            analysis=analysis,
+            choice=choice,
+            actuals=actuals,
+            workers=self.parallel,
         )
 
     @staticmethod

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..core.sorting import fact_lt
 from ..core.tuple import TPTuple
 
 __all__ = [
@@ -85,7 +86,7 @@ def merged_group_items(
             items.append((r_lo, r_hi, s_lo, s_hi))
             i += 1
             j += 1
-        elif r_fact < s_fact:
+        elif fact_lt(r_fact, s_fact):
             items.append((r_lo, r_hi, s_lo, s_lo))
             i += 1
         else:

@@ -34,6 +34,7 @@ __all__ = [
     "SERIAL",
     "active_config",
     "config_from_env",
+    "estimated_speedup",
     "mark_worker",
     "parallel_execution",
     "parse_workers",
@@ -175,6 +176,28 @@ def set_parallel(config: Union[int, ParallelConfig, None]) -> None:
     """
     global _ACTIVE
     _ACTIVE = _coerce(config) if config is not None else config_from_env()
+
+
+def estimated_speedup(
+    work_units: float,
+    groups: float,
+    config: Optional[ParallelConfig] = None,
+) -> float:
+    """Expected pool speedup for ``work_units`` of sweep work over
+    ``groups`` shardable units — the execution engine's contribution to
+    the cost model (DESIGN.md §11).
+
+    Mirrors the engine's own gating: below ``min_tuples`` the operation
+    stays serial (the pool round-trip costs more than the sweep), and a
+    sweep can never run faster than its number of independently
+    shardable groups allows — the chunker shards by fact/key group, so
+    ``min(workers, groups)`` bounds the parallelism.  ``config=None``
+    reads the ambient configuration, exactly like the operators do.
+    """
+    cfg = config if config is not None else active_config()
+    if not cfg.enabled or work_units < cfg.min_tuples:
+        return 1.0
+    return max(1.0, min(float(cfg.workers), groups))
 
 
 @contextmanager

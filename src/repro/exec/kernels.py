@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from ..core.gtwindow import LEFT, MatchWindow, WindowPolicy, generalized_windows
 from ..core.interval import Interval
+from ..core.sorting import fact_lt
 from ..core.tuple import TPTuple
 
 __all__ = ["OPCODES", "join_window_codes", "sweep_codes"]
@@ -106,9 +107,9 @@ def sweep_codes(
                     break
                 fact = st_fact
                 win_ts = st_start
-            elif st is None or rt_fact < st_fact or (
+            elif st is None or (
                 rt_fact == st_fact and rt_start <= st_start
-            ):
+            ) or (rt_fact != st_fact and fact_lt(rt_fact, st_fact)):
                 fact = rt_fact
                 win_ts = rt_start
             else:

@@ -1,6 +1,6 @@
 """TP set queries: Def. 4 grammar, parsing, analysis, planning, execution."""
 
-from .analysis import QueryAnalysis, analyze, is_non_repeating
+from .analysis import QueryAnalysis, analyze, infer_schema, is_non_repeating
 from .ast import (
     JOIN_NODE_SYMBOLS,
     JoinNode,
@@ -12,9 +12,19 @@ from .ast import (
     iter_nodes,
     relation_references,
 )
+from .cost import Estimate, PlanChoice, choose_plan, estimate, order_multiway_children
 from .executor import execute_plan
-from .optimize import MultiOpNode, OptimizedNode, optimize_query
-from .parser import parse_query
+from .explain import render_explain
+from .optimize import (
+    MultiOpNode,
+    OPTIMIZE_LEVELS,
+    OptimizedNode,
+    canonical_form,
+    enumerate_plans,
+    optimize_query,
+    resolve_level,
+)
+from .parser import parse_query, strip_explain_prefix
 from .planner import (
     JoinPlan,
     MultiSetOpPlan,
@@ -24,30 +34,46 @@ from .planner import (
     SetOpPlan,
     plan_query,
 )
+from .stats import RelationStats, StatsCatalog, relation_stats
 
 __all__ = [
     "JOIN_NODE_SYMBOLS",
+    "Estimate",
     "JoinNode",
     "JoinPlan",
     "MultiOpNode",
     "MultiSetOpPlan",
     "OP_TOKENS",
+    "OPTIMIZE_LEVELS",
     "OptimizedNode",
     "PhysicalPlan",
+    "PlanChoice",
     "QueryAnalysis",
     "QueryNode",
     "RelationRef",
+    "RelationStats",
     "ScanPlan",
     "SelectPlan",
     "SelectionNode",
     "SetOpNode",
     "SetOpPlan",
+    "StatsCatalog",
     "analyze",
+    "canonical_form",
+    "choose_plan",
+    "enumerate_plans",
+    "estimate",
     "execute_plan",
+    "infer_schema",
     "is_non_repeating",
     "iter_nodes",
     "optimize_query",
+    "order_multiway_children",
     "parse_query",
     "plan_query",
     "relation_references",
+    "relation_stats",
+    "render_explain",
+    "resolve_level",
+    "strip_explain_prefix",
 ]

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Mapping, Optional
 
+from ..core.errors import SchemaMismatchError
+from ..core.schema import TPSchema
 from .ast import (
     JoinNode,
     QueryNode,
@@ -24,7 +27,7 @@ from .ast import (
     relation_references,
 )
 
-__all__ = ["QueryAnalysis", "analyze", "is_non_repeating"]
+__all__ = ["QueryAnalysis", "analyze", "infer_schema", "is_non_repeating"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +87,10 @@ def analyze(query: QueryNode) -> QueryAnalysis:
             operations[node.op] += 1
         elif isinstance(node, JoinNode):
             operations[f"{node.kind}_join"] += 1
+        else:
+            children = getattr(node, "children", None)
+            if children is not None:  # n-ary MultiOpNode ≙ n−1 binary ops
+                operations[node.op] += len(children) - 1
 
     if non_repeating:
         complexity = (
@@ -119,6 +126,10 @@ def _walk(query: QueryNode):
             stack.append(node.right)
         elif isinstance(node, SelectionNode):
             stack.append(node.child)
+        else:
+            children = getattr(node, "children", None)
+            if children is not None:
+                stack.extend(children)
 
 
 def _depth(query: QueryNode) -> int:
@@ -126,4 +137,60 @@ def _depth(query: QueryNode) -> int:
         return 0
     if isinstance(query, SelectionNode):
         return _depth(query.child)
+    children = getattr(query, "children", None)
+    if children is not None:
+        return 1 + max(_depth(child) for child in children)
     return 1 + max(_depth(query.left), _depth(query.right))
+
+
+def infer_schema(
+    query: QueryNode, leaf_schemas: Mapping[str, TPSchema]
+) -> Optional[TPSchema]:
+    """The output schema of a query tree, or ``None`` when underivable.
+
+    ``leaf_schemas`` maps relation names to their schemas; a missing
+    leaf, an invalid join (no shared attributes) or a selection on an
+    attribute the subtree does not produce all yield ``None`` rather
+    than raising — callers (the optimizer's schema-aware rewrites, the
+    possible-worlds oracle) treat an unknown schema as "do not touch".
+
+    Set operations use positional semantics, so the output schema is the
+    first operand's (exactly what the executor produces); joins resolve
+    through :func:`repro.algebra.join.join_layout_from_schemas`,
+    including natural-join attribute resolution and output-name
+    disambiguation.
+    """
+    from ..algebra.join import join_layout_from_schemas
+
+    if isinstance(query, RelationRef):
+        return leaf_schemas.get(query.name)
+    if isinstance(query, SelectionNode):
+        schema = infer_schema(query.child, leaf_schemas)
+        if schema is None or query.attribute not in schema.attributes:
+            return None
+        return schema
+    if isinstance(query, JoinNode):
+        left = infer_schema(query.left, leaf_schemas)
+        right = infer_schema(query.right, leaf_schemas)
+        if left is None or right is None:
+            return None
+        try:
+            return join_layout_from_schemas(
+                query.kind, left, right, query.on
+            ).out_schema
+        except SchemaMismatchError:
+            return None
+    children = getattr(query, "children", None)
+    if children is not None:  # MultiOpNode
+        schemas = [infer_schema(child, leaf_schemas) for child in children]
+        if any(s is None for s in schemas):
+            return None
+        if any(s.arity != schemas[0].arity for s in schemas[1:]):
+            return None
+        return schemas[0]
+    assert isinstance(query, SetOpNode)
+    left = infer_schema(query.left, leaf_schemas)
+    right = infer_schema(query.right, leaf_schemas)
+    if left is None or right is None or left.arity != right.arity:
+        return None
+    return left

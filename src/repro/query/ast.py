@@ -107,7 +107,12 @@ QueryNode = Union[RelationRef, SetOpNode, SelectionNode, JoinNode]
 
 
 def iter_nodes(query: QueryNode) -> Iterator[QueryNode]:
-    """Pre-order traversal over all nodes of the query tree."""
+    """Pre-order traversal over all nodes of the query tree.
+
+    Also accepts optimizer-extended trees: any node exposing a
+    ``children`` tuple (``MultiOpNode``) is traversed structurally, so
+    analyses run on both parsed and optimized shapes.
+    """
     stack: list[QueryNode] = [query]
     while stack:
         node = stack.pop()
@@ -117,12 +122,26 @@ def iter_nodes(query: QueryNode) -> Iterator[QueryNode]:
             stack.append(node.left)
         elif isinstance(node, SelectionNode):
             stack.append(node.child)
+        else:
+            children = getattr(node, "children", None)
+            if children is not None:
+                stack.extend(reversed(children))
 
 
 def relation_references(query: QueryNode) -> list[str]:
-    """Names of the referenced relations, with multiplicity, leaf order."""
+    """Names of the referenced relations, with multiplicity, leaf order.
+
+    Handles optimizer-extended trees (n-ary ``MultiOpNode``) through the
+    same ``children`` duck-typing as :func:`iter_nodes`.
+    """
     if isinstance(query, RelationRef):
         return [query.name]
     if isinstance(query, SelectionNode):
         return relation_references(query.child)
+    children = getattr(query, "children", None)
+    if children is not None:
+        out: list[str] = []
+        for child in children:
+            out.extend(relation_references(child))
+        return out
     return relation_references(query.left) + relation_references(query.right)

@@ -1,0 +1,425 @@
+"""Cost model and cost-based plan choice (DESIGN.md §11).
+
+Plans are scored in **estimated sweep rows**: every operator of the
+system is a sweep over its sorted inputs (set operations, generalized
+joins, the multiway kernel) or a filter pass (selections), so the work
+of a plan is well approximated by the number of tuples its sweeps read
+plus the matches its joins enumerate.  Estimates come from the
+statistics catalog (:mod:`repro.query.stats`): cardinalities,
+per-attribute distinct counts (selectivity, join fan-out) and covering
+spans/histograms (temporal-overlap factors).
+
+The model is **worker-aware** through
+:func:`repro.exec.config.estimated_speedup`: sweep terms are discounted
+by the speedup the parallel engine can realistically reach for that
+operator — bounded by the worker count *and* by the number of
+shardable fact/key groups, gated by the engine's own ``min_tuples``
+threshold.
+
+:func:`choose_plan` enumerates the bounded candidate space
+(:func:`repro.query.optimize.enumerate_plans`), scores every candidate
+and picks the cheapest (ties resolve to the earliest candidate, so the
+choice is deterministic).  Correctness never rests on the estimates:
+every candidate is result-equivalent by construction, which
+``tests/test_optimizer_metamorphic.py`` proves by executing all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Union
+
+from ..core.errors import SchemaMismatchError
+from ..core.schema import TPSchema
+from ..exec.config import active_config, estimated_speedup
+from .ast import JoinNode, QueryNode, RelationRef, SelectionNode, SetOpNode
+from .optimize import (
+    MultiOpNode,
+    OptimizedNode,
+    enumerate_plans,
+    schemas_from_stats,
+)
+from .stats import RelationStats, StatsCatalog
+
+__all__ = [
+    "Estimate",
+    "PlanChoice",
+    "choose_plan",
+    "estimate",
+    "order_multiway_children",
+]
+
+#: Assumed cardinality of a relation without statistics.
+DEFAULT_ROWS = 32.0
+#: Assumed fact-group count of a relation without statistics.
+DEFAULT_GROUPS = 8.0
+#: Selectivity of σ[a=v] when the attribute's distinct count is unknown.
+DEFAULT_SELECTIVITY = 0.25
+#: Assumed distinct count of a join attribute without statistics.
+DEFAULT_DISTINCT = 8.0
+#: Cost charged per operator dispatched to the worker pool (the
+#: serialization round-trip), in sweep-row equivalents.
+POOL_OVERHEAD = 256.0
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Bottom-up estimate for one (sub)plan.
+
+    ``rows``/``groups`` describe the node's output; ``cost`` is the
+    cumulative estimated sweep rows of the whole subtree (the quantity
+    plans are ranked by); ``distinct``/``span`` propagate the statistics
+    the parent operators need.  ``schema`` is ``None`` when leaf
+    statistics were unavailable — estimates still flow, from defaults.
+    """
+
+    rows: float
+    cost: float
+    groups: float
+    schema: Optional[TPSchema]
+    distinct: Mapping[str, float]
+    span: Optional[tuple[int, int]]
+    histogram: Optional[tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """Outcome of a cost-based choice over the candidate space."""
+
+    chosen: OptimizedNode
+    estimate: Estimate
+    candidates: tuple[tuple[OptimizedNode, Estimate], ...]
+    chosen_index: int
+
+    @property
+    def n_candidates(self) -> int:
+        return len(self.candidates)
+
+
+def choose_plan(
+    query: QueryNode,
+    stats: StatsCatalog,
+    *,
+    aggressive: bool = False,
+    limit: int = 24,
+    workers: Optional[int] = None,
+) -> PlanChoice:
+    """Enumerate the candidate space and pick the cheapest plan.
+
+    ``workers`` overrides the worker count the sweep-discount uses
+    (``None`` reads the ambient :func:`repro.exec.config.active_config`).
+    """
+    schemas = schemas_from_stats(stats, query)
+    candidates = enumerate_plans(
+        query, schemas=schemas, stats=stats, aggressive=aggressive, limit=limit
+    )
+    scored = tuple(
+        (node, estimate(node, stats, workers=workers)) for node in candidates
+    )
+    best_index = min(
+        range(len(scored)), key=lambda i: (scored[i][1].cost, i)
+    )
+    return PlanChoice(
+        chosen=scored[best_index][0],
+        estimate=scored[best_index][1],
+        candidates=scored,
+        chosen_index=best_index,
+    )
+
+
+def order_multiway_children(node: OptimizedNode, stats: StatsCatalog) -> OptimizedNode:
+    """Order every n-ary ∪/∩'s children by estimated cardinality.
+
+    An ``aggressive`` rewrite: ∨/∧ are commutative and window boundaries
+    are order-blind, so facts, intervals and probabilities are
+    preserved, but the lineage argument order changes.  Estimation runs
+    at ``workers=1`` so the ordering never depends on the ambient pool
+    configuration.
+    """
+    if isinstance(node, RelationRef):
+        return node
+    if isinstance(node, SelectionNode):
+        return SelectionNode(
+            order_multiway_children(node.child, stats), node.attribute, node.value
+        )
+    if isinstance(node, JoinNode):
+        return JoinNode(
+            node.kind,
+            order_multiway_children(node.left, stats),
+            order_multiway_children(node.right, stats),
+            node.on,
+        )
+    if isinstance(node, SetOpNode):
+        return SetOpNode(
+            node.op,
+            order_multiway_children(node.left, stats),
+            order_multiway_children(node.right, stats),
+        )
+    assert isinstance(node, MultiOpNode)
+    children = tuple(order_multiway_children(c, stats) for c in node.children)
+    ordered = sorted(  # stable: equal estimates keep their given order
+        children, key=lambda child: estimate(child, stats, workers=1).rows
+    )
+    return MultiOpNode(node.op, tuple(ordered))
+
+
+# ----------------------------------------------------------------------
+# the estimator
+# ----------------------------------------------------------------------
+def estimate(
+    node: Union[QueryNode, OptimizedNode],
+    stats: StatsCatalog,
+    *,
+    workers: Optional[int] = None,
+) -> Estimate:
+    """Bottom-up cost/cardinality estimate of a logical plan."""
+    if workers is None:
+        workers = active_config().workers
+    return _estimate(node, stats, workers)
+
+
+def _sweep_cost(work: float, groups: float, workers: int) -> float:
+    """Worker-aware cost of one sweep over ``work`` rows."""
+    if workers <= 1:
+        return work
+    config = active_config()
+    if config.workers != workers:
+        config = replace(config, workers=workers)
+    speedup = estimated_speedup(work, groups, config)
+    overhead = POOL_OVERHEAD if speedup > 1.0 else 0.0
+    return work / speedup + overhead
+
+
+def _estimate(node, stats: StatsCatalog, workers: int) -> Estimate:
+    if isinstance(node, RelationRef):
+        return _leaf_estimate(node.name, stats)
+    if isinstance(node, SelectionNode):
+        return _selection_estimate(node, stats, workers)
+    if isinstance(node, (SetOpNode, MultiOpNode)):
+        return _setop_estimate(node, stats, workers)
+    assert isinstance(node, JoinNode)
+    return _join_estimate(node, stats, workers)
+
+
+def _leaf_estimate(name: str, stats: StatsCatalog) -> Estimate:
+    entry: Optional[RelationStats] = stats.get(name)
+    if entry is None:
+        return Estimate(
+            rows=DEFAULT_ROWS,
+            cost=0.0,
+            groups=DEFAULT_GROUPS,
+            schema=None,
+            distinct={},
+            span=None,
+            histogram=None,
+        )
+    return Estimate(
+        rows=float(entry.n_tuples),
+        cost=0.0,  # scans read the epoch-cached snapshot
+        groups=float(max(1, entry.n_facts)),
+        schema=TPSchema(tuple(entry.attributes)) if entry.attributes else None,
+        distinct={a: float(d) for a, d in entry.distinct.items()},
+        span=entry.span,
+        histogram=entry.histogram or None,
+    )
+
+
+def _selection_estimate(
+    node: SelectionNode, stats: StatsCatalog, workers: int
+) -> Estimate:
+    child = _estimate(node.child, stats, workers)
+    d = child.distinct.get(node.attribute, 0.0)
+    selectivity = 1.0 / d if d >= 1.0 else DEFAULT_SELECTIVITY
+    selectivity = min(1.0, selectivity)
+    rows = child.rows * selectivity
+    distinct = {
+        a: (1.0 if a == node.attribute else min(dv, max(rows, 1.0)))
+        for a, dv in child.distinct.items()
+    }
+    histogram = (
+        tuple(c * selectivity for c in child.histogram)  # fractional: a
+        # truncating scale would zero sparse buckets and kill overlap
+        # estimates downstream
+        if child.histogram
+        else None
+    )
+    return Estimate(
+        rows=rows,
+        cost=child.cost + child.rows,  # one filter pass over the input
+        groups=max(1.0, child.groups * selectivity),
+        schema=child.schema,
+        distinct=distinct,
+        span=child.span,
+        histogram=histogram,
+    )
+
+
+def _overlap_fraction(a: Estimate, b: Estimate) -> float:
+    """Estimated fraction of ``a``'s tuples that temporally overlap
+    ``b``'s coverage — spans coarse, histograms refining."""
+    if a.span is None or b.span is None:
+        return 1.0  # unknown: assume full overlap (conservative)
+    lo = max(a.span[0], b.span[0])
+    hi = min(a.span[1], b.span[1])
+    if hi <= lo:
+        return 0.0
+    width_a = max(1, a.span[1] - a.span[0])
+    fraction = (hi - lo) / width_a
+    if a.histogram:
+        # Mass of a's histogram inside the intersection window.
+        bucket = width_a / len(a.histogram)
+        total = sum(a.histogram)
+        if total:
+            mass = sum(
+                count
+                for i, count in enumerate(a.histogram)
+                if a.span[0] + (i + 1) * bucket > lo
+                and a.span[0] + i * bucket < hi
+            )
+            fraction = mass / total
+    if b.histogram:
+        # Occupancy of b inside the window: empty b-buckets cannot match.
+        width_b = max(1, b.span[1] - b.span[0])
+        bucket = width_b / len(b.histogram)
+        inside = [
+            count
+            for i, count in enumerate(b.histogram)
+            if b.span[0] + (i + 1) * bucket > lo and b.span[0] + i * bucket < hi
+        ]
+        if inside:
+            fraction *= sum(1 for c in inside if c) / len(inside)
+    return max(0.0, min(1.0, fraction))
+
+
+def _span_hull(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _span_intersection(a, b):
+    if a is None or b is None:
+        return None
+    lo, hi = max(a[0], b[0]), min(a[1], b[1])
+    return (lo, hi) if hi > lo else None
+
+
+def _setop_estimate(node, stats: StatsCatalog, workers: int) -> Estimate:
+    children = (
+        [_estimate(c, stats, workers) for c in node.children]
+        if isinstance(node, MultiOpNode)
+        else [
+            _estimate(node.left, stats, workers),
+            _estimate(node.right, stats, workers),
+        ]
+    )
+    op = node.op
+    sweep = sum(c.rows for c in children)
+    groups = max(c.groups for c in children)
+    cost = sum(c.cost for c in children) + _sweep_cost(sweep, groups, workers)
+    if op == "union":
+        rows = sweep
+        distinct = {}
+        for c in children:
+            for a, d in c.distinct.items():
+                distinct[a] = max(distinct.get(a, 0.0), d)
+        span = None
+        for c in children:
+            span = _span_hull(span, c.span)
+    elif op == "intersect":
+        first = children[0]
+        rows = min(c.rows for c in children)
+        for c in children[1:]:
+            rows *= _overlap_fraction(first, c)
+        distinct = {a: min(d, max(rows, 1.0)) for a, d in first.distinct.items()}
+        span = first.span
+        for c in children[1:]:
+            span = _span_intersection(span, c.span)
+    else:  # except: the minuend's coverage survives, split and filtered
+        first = children[0]
+        rows = first.rows
+        distinct = dict(first.distinct)
+        span = first.span
+    return Estimate(
+        rows=rows,
+        cost=cost,
+        groups=groups,
+        schema=children[0].schema,
+        distinct=distinct,
+        span=span,
+        histogram=None,
+    )
+
+
+def _join_estimate(node: JoinNode, stats: StatsCatalog, workers: int) -> Estimate:
+    from ..algebra.join import join_layout_from_schemas
+
+    left = _estimate(node.left, stats, workers)
+    right = _estimate(node.right, stats, workers)
+    layout = None
+    if left.schema is not None and right.schema is not None:
+        try:
+            layout = join_layout_from_schemas(
+                node.kind, left.schema, right.schema, node.on
+            )
+        except SchemaMismatchError:
+            layout = None
+    if layout is not None:
+        join_attrs = layout.join_attrs
+        out_schema = layout.out_schema
+    else:
+        join_attrs = tuple(node.on) if node.on else ()
+        out_schema = None
+    dk_left = max(
+        (left.distinct.get(a, 0.0) for a in join_attrs), default=0.0
+    ) or min(DEFAULT_DISTINCT, max(left.groups, 1.0))
+    dk_right = max(
+        (right.distinct.get(a, 0.0) for a in join_attrs), default=0.0
+    ) or min(DEFAULT_DISTINCT, max(right.groups, 1.0))
+    pairs = (
+        left.rows
+        * right.rows
+        / max(dk_left, dk_right, 1.0)
+        * _overlap_fraction(left, right)
+    )
+    kind = node.kind
+    if kind == "inner":
+        rows = pairs
+        span = _span_intersection(left.span, right.span)
+    elif kind == "left_outer":
+        rows = pairs + left.rows
+        span = left.span
+    elif kind == "right_outer":
+        rows = pairs + right.rows
+        span = right.span
+    elif kind == "full_outer":
+        rows = pairs + left.rows + right.rows
+        span = _span_hull(left.span, right.span)
+    else:  # anti
+        rows = left.rows
+        span = left.span
+    key_groups = max(1.0, min(dk_left, dk_right))
+    sweep = left.rows + right.rows + pairs
+    cost = left.cost + right.cost + _sweep_cost(sweep, key_groups, workers)
+    distinct: dict[str, float] = {}
+    if out_schema is not None and layout is not None:
+        r_arity = left.schema.arity
+        for pos, name in enumerate(out_schema.attributes):
+            if pos < r_arity:
+                source = left.distinct.get(left.schema.attributes[pos], 0.0)
+            else:
+                s_name = right.schema.attributes[layout.s_rest_idx[pos - r_arity]]
+                source = right.distinct.get(s_name, 0.0)
+            if source:
+                distinct[name] = min(source, max(rows, 1.0))
+    return Estimate(
+        rows=rows,
+        cost=cost,
+        groups=key_groups,
+        schema=out_schema,
+        distinct=distinct,
+        span=span,
+        histogram=None,
+    )

@@ -16,7 +16,7 @@ formula shared by many result tuples is valuated once.
 
 from __future__ import annotations
 
-from typing import Mapping, Union
+from typing import Callable, Mapping, Optional, Union
 
 from ..core.errors import UnknownRelationError
 from ..core.multiway import multi_intersect, multi_union
@@ -33,6 +33,12 @@ from .planner import (
 
 __all__ = ["execute_plan"]
 
+#: Per-node observation callback: (path, plan node, result relation).
+#: ``path`` addresses the node positionally — ``()`` is the root and
+#: ``path + (i,)`` the i-th child — the scheme ``EXPLAIN``'s
+#: estimates-vs-actuals rendering keys on.
+Observer = Callable[[tuple, PhysicalPlan, TPRelation], None]
+
 
 def execute_plan(
     plan: PhysicalPlan,
@@ -40,6 +46,7 @@ def execute_plan(
     *,
     materialize: bool = True,
     parallel: Union[int, ParallelConfig, None] = None,
+    observe: Optional[Observer] = None,
 ) -> TPRelation:
     """Evaluate a physical plan against a catalog of named relations.
 
@@ -48,15 +55,36 @@ def execute_plan(
     — set-operation sweeps, join drivers, and the root batch valuation —
     runs under it.  ``None`` inherits the ambient configuration
     (``REPRO_PARALLEL`` or an enclosing :func:`parallel_execution`).
+
+    ``observe`` is called once per plan node with its intermediate
+    result (``EXPLAIN`` uses this to report actual row counts); it sees
+    lineage-only relations, before the root materialization.
     """
     with parallel_execution(parallel):
-        result = _run(plan, catalog)
+        result = _run(plan, catalog, observe, ())
         if materialize:
             result = result.materialize_probabilities()
     return result
 
 
-def _run(plan: PhysicalPlan, catalog: Mapping[str, TPRelation]) -> TPRelation:
+def _run(
+    plan: PhysicalPlan,
+    catalog: Mapping[str, TPRelation],
+    observe: Optional[Observer] = None,
+    path: tuple = (),
+) -> TPRelation:
+    result = _evaluate(plan, catalog, observe, path)
+    if observe is not None:
+        observe(path, plan, result)
+    return result
+
+
+def _evaluate(
+    plan: PhysicalPlan,
+    catalog: Mapping[str, TPRelation],
+    observe: Optional[Observer],
+    path: tuple,
+) -> TPRelation:
     if isinstance(plan, ScanPlan):
         try:
             return catalog[plan.relation]
@@ -65,19 +93,22 @@ def _run(plan: PhysicalPlan, catalog: Mapping[str, TPRelation]) -> TPRelation:
                 f"query references unknown relation {plan.relation!r}"
             ) from exc
     if isinstance(plan, SelectPlan):
-        child = _run(plan.child, catalog)
+        child = _run(plan.child, catalog, observe, path + (0,))
         return child.select(**{plan.attribute: plan.value})
     if isinstance(plan, MultiSetOpPlan):
-        inputs = [_run(child, catalog) for child in plan.children]
+        inputs = [
+            _run(child, catalog, observe, path + (i,))
+            for i, child in enumerate(plan.children)
+        ]
         combine = multi_union if plan.op == "union" else multi_intersect
         return combine(*inputs, materialize=False)
     if isinstance(plan, JoinPlan):
-        left = _run(plan.left, catalog)
-        right = _run(plan.right, catalog)
+        left = _run(plan.left, catalog, observe, path + (0,))
+        right = _run(plan.right, catalog, observe, path + (1,))
         return plan.algorithm.compute(
             plan.kind, left, right, on=plan.on, materialize=False
         )
     assert isinstance(plan, SetOpPlan)
-    left = _run(plan.left, catalog)
-    right = _run(plan.right, catalog)
+    left = _run(plan.left, catalog, observe, path + (0,))
+    right = _run(plan.right, catalog, observe, path + (1,))
     return plan.algorithm.compute(plan.op, left, right, materialize=False)

@@ -23,7 +23,26 @@ from typing import Iterator, NamedTuple, Optional
 from ..core.errors import QueryParseError
 from .ast import JoinNode, QueryNode, RelationRef, SelectionNode, SetOpNode
 
-__all__ = ["parse_query"]
+__all__ = ["parse_query", "strip_explain_prefix"]
+
+#: ``EXPLAIN <query>`` — the SQL-style prefix form of ``db.explain``.
+#: Requires trailing content, so a relation named ``explain`` remains
+#: referencable as a bare query.
+_EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN\s+(?=\S)", re.IGNORECASE)
+
+
+def strip_explain_prefix(text: str) -> Optional[str]:
+    """The query after a leading ``EXPLAIN`` keyword, or ``None``.
+
+    >>> strip_explain_prefix("EXPLAIN c - (a | b)")
+    'c - (a | b)'
+    >>> strip_explain_prefix("c - (a | b)") is None
+    True
+    """
+    match = _EXPLAIN_PREFIX.match(text)
+    if match is None:
+        return None
+    return text[match.end():]
 
 #: Join keywords that may also appear as bare-word selection values.
 _KEYWORD_KINDS = frozenset(

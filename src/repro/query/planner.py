@@ -111,7 +111,11 @@ PhysicalPlan = Union[ScanPlan, SelectPlan, SetOpPlan, JoinPlan, MultiSetOpPlan]
 
 
 def substitute_views(
-    query: QueryNode, views: Mapping[QueryNode, str]
+    query: QueryNode,
+    views: Mapping[QueryNode, str],
+    *,
+    canonical: bool = False,
+    schemas: Optional[Mapping] = None,
 ) -> QueryNode:
     """Replace subtrees matching a materialized view's definition by scans.
 
@@ -121,24 +125,51 @@ def substitute_views(
     instead of recomputing the subquery — the serving-path payoff of
     :mod:`repro.store`.  Matching is outside-in: the largest matching
     subtree wins.
+
+    ``canonical=True`` (the cost-based optimizer's mode, DESIGN.md §11)
+    matches *modulo the safe rewrites*: a subtree and a view definition
+    match when their :func:`repro.query.optimize.canonical_form` normal
+    forms coincide — e.g. ``a[x=1] | b[x=1]`` reads a view defined as
+    ``(a | b)[x=1]``.  Safe rewrites are lineage-identical, so the
+    maintained result is syntactically the one the subquery would have
+    computed.  ``schemas`` feeds the schema-aware rewrite guards.
     """
-    name = views.get(query)
+    if not canonical:
+        return _substitute(query, views.get)
+    from .optimize import canonical_form
+
+    table: dict = {}
+    for definition, view_name in views.items():
+        table.setdefault(definition, view_name)
+        table.setdefault(canonical_form(definition, schemas), view_name)
+
+    def lookup(node: QueryNode) -> Optional[str]:
+        name = table.get(node)
+        if name is not None:
+            return name
+        return table.get(canonical_form(node, schemas))
+
+    return _substitute(query, lookup)
+
+
+def _substitute(query: QueryNode, lookup) -> QueryNode:
+    name = lookup(query)
     if name is not None:
         return RelationRef(name)
     if isinstance(query, SelectionNode):
-        child = substitute_views(query.child, views)
+        child = _substitute(query.child, lookup)
         if child is query.child:
             return query
         return SelectionNode(child, query.attribute, query.value)
     if isinstance(query, SetOpNode):
-        left = substitute_views(query.left, views)
-        right = substitute_views(query.right, views)
+        left = _substitute(query.left, lookup)
+        right = _substitute(query.right, lookup)
         if left is query.left and right is query.right:
             return query
         return SetOpNode(query.op, left, right)
     if isinstance(query, JoinNode):
-        left = substitute_views(query.left, views)
-        right = substitute_views(query.right, views)
+        left = _substitute(query.left, lookup)
+        right = _substitute(query.right, lookup)
         if left is query.left and right is query.right:
             return query
         return JoinNode(query.kind, left, right, query.on)

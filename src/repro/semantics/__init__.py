@@ -3,6 +3,7 @@
 from .possible_worlds import (
     join_marginal_via_worlds,
     marginal_via_worlds,
+    query_marginals_via_worlds,
     world_probability,
     worlds,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "check_snapshot_reducibility",
     "join_marginal_via_worlds",
     "marginal_via_worlds",
+    "query_marginals_via_worlds",
     "snapshot_except",
     "snapshot_intersect",
     "snapshot_set_operation",

@@ -27,6 +27,7 @@ __all__ = [
     "world_probability",
     "marginal_via_worlds",
     "join_marginal_via_worlds",
+    "query_marginals_via_worlds",
 ]
 
 
@@ -160,3 +161,100 @@ def join_marginal_via_worlds(
         if fact in _world_join_facts(kind, layout, r_facts, s_facts):
             total += world_probability(world, events)
     return total
+
+
+# ----------------------------------------------------------------------
+# whole query trees against brute-force enumeration
+# ----------------------------------------------------------------------
+def _eval_query_in_world(
+    node, relations: Mapping[str, TPRelation], layouts, schemas, t: int, world
+) -> set:
+    """Deterministic snapshot result of a query tree at time t in one world."""
+    from ..query.ast import JoinNode, RelationRef, SelectionNode, SetOpNode
+
+    if isinstance(node, RelationRef):
+        return _facts_at(relations[node.name], t, world)
+    if isinstance(node, SelectionNode):
+        facts = _eval_query_in_world(node.child, relations, layouts, schemas, t, world)
+        index = schemas[node.child].index_of(node.attribute)
+        return {fact for fact in facts if fact[index] == node.value}
+    if isinstance(node, JoinNode):
+        left = _eval_query_in_world(node.left, relations, layouts, schemas, t, world)
+        right = _eval_query_in_world(node.right, relations, layouts, schemas, t, world)
+        return _world_join_facts(node.kind, layouts[node], left, right)
+    children = getattr(node, "children", None)  # n-ary MultiOpNode
+    if children is None:
+        assert isinstance(node, SetOpNode)
+        children = (node.left, node.right)
+        op = node.op
+    else:
+        op = node.op
+    out = _eval_query_in_world(children[0], relations, layouts, schemas, t, world)
+    for child in children[1:]:
+        other = _eval_query_in_world(child, relations, layouts, schemas, t, world)
+        if op == "union":
+            out = out | other
+        elif op == "intersect":
+            out = out & other
+        else:
+            out = out - other
+    return out
+
+
+def query_marginals_via_worlds(
+    query, relations: Mapping[str, TPRelation]
+) -> dict[tuple, float]:
+    """``{(fact, t): P(fact ∈ Q at t)}`` by brute-force world enumeration.
+
+    ``query`` is any TP query tree — selections, set operations (binary
+    or n-ary optimizer nodes), all five generalized joins, arbitrarily
+    nested — over *base* relations (atomic lineage).  Every truth
+    assignment of the referenced base tuples is enumerated; in each
+    world the query is evaluated per time point under the usual
+    deterministic snapshot semantics, and a (fact, t) pair's marginal
+    is the total probability of the worlds whose result contains it.
+
+    This is the oracle the plan-space metamorphic harness holds every
+    optimizer-emitted plan to: whatever shape the rewrite produced, its
+    per-point marginals must equal these.
+    """
+    from ..algebra.join import join_layout_from_schemas
+    from ..query.analysis import infer_schema
+    from ..query.ast import JoinNode, iter_nodes, relation_references
+
+    names = set(relation_references(query))
+    events: dict[str, float] = {}
+    points: set[int] = set()
+    for name in names:
+        relation = relations[name]
+        events.update(relation.events)
+        for u in relation:
+            points.update(range(u.start, u.end))
+    leaf_schemas = {name: relations[name].schema for name in names}
+    schemas = {}
+    layouts = {}
+    for node in iter_nodes(query):
+        schema = infer_schema(node, leaf_schemas)
+        if schema is None:
+            raise ValueError(f"cannot infer the schema of {node}")
+        schemas[node] = schema
+        if isinstance(node, JoinNode):
+            layouts[node] = join_layout_from_schemas(
+                node.kind,
+                infer_schema(node.left, leaf_schemas),
+                infer_schema(node.right, leaf_schemas),
+                node.on,
+            )
+    marginals: dict[tuple, float] = {}
+    ordered_points = sorted(points)
+    for world in worlds(events):
+        p_world = world_probability(world, events)
+        if p_world == 0.0:
+            continue
+        for t in ordered_points:
+            for fact in _eval_query_in_world(
+                query, relations, layouts, schemas, t, world
+            ):
+                key = (fact, t)
+                marginals[key] = marginals.get(key, 0.0) + p_world
+    return marginals

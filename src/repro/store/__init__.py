@@ -30,6 +30,7 @@ from .maintenance import (
     get_maintenance_strategy,
     maintenance_strategies,
 )
+from .stats import StoreStatistics
 from .segment import (
     DEFAULT_SEGMENT_CAPACITY,
     ChangeSet,
@@ -47,6 +48,7 @@ __all__ = [
     "REFRESH_POLICIES",
     "Region",
     "SegmentStore",
+    "StoreStatistics",
     "get_maintenance_strategy",
     "load_delta",
     "maintenance_strategies",

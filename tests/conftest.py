@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -16,7 +18,32 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
 )
-settings.load_profile("repro")
+# The CI profile is *derandomized*: every run draws the same examples,
+# so a red CI is reproducible locally byte for byte (set
+# HYPOTHESIS_PROFILE=repro-ci) and a green one cannot flake.  Failures
+# additionally print an @reproduce_failure blob (the "seed" to replay
+# one exact example without the profile).
+settings.register_profile(
+    "repro-ci",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+    derandomize=True,
+    print_blob=True,
+)
+_PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "repro")
+settings.load_profile(_PROFILE)
+
+
+def pytest_report_header(config) -> str:
+    if _PROFILE == "repro-ci":
+        detail = (
+            "derandomized; reproduce locally with HYPOTHESIS_PROFILE=repro-ci, "
+            "or replay one failure via its printed @reproduce_failure blob"
+        )
+    else:
+        detail = "randomized; CI pins HYPOTHESIS_PROFILE=repro-ci"
+    return f"hypothesis profile: {_PROFILE} ({detail})"
 
 
 @pytest.fixture

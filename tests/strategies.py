@@ -1,15 +1,22 @@
-"""Hypothesis strategies for random duplicate-free TP relations."""
+"""Hypothesis strategies for random duplicate-free TP relations and
+random TP query trees (the plan-space metamorphic harness's generator)."""
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
 from repro import Interval, TPRelation, TPSchema, base_tuple
+from repro.algebra.join import JOIN_KINDS, join_layout_from_schemas
+from repro.query import JoinNode, RelationRef, SelectionNode, SetOpNode
 
 FACT_POOL = [("x",), ("y",), ("z",)]
 
 #: Fact pools for join-shaped relations: (key, rest) combinations.
 JOIN_KEY_POOL = ["k1", "k2"]
+
+#: Selection values drawn by the query-tree strategy: every fact value
+#: the catalog relations can produce, plus one that never matches.
+QUERY_VALUE_POOL = ["k1", "k2", "a1", "a2", "b1", "b2", "nope"]
 
 
 @st.composite
@@ -97,6 +104,123 @@ def tp_join_relation(
             tuples.append(base_tuple(fact, identifier, interval, p))
             events[identifier] = p
     return TPRelation(name, TPSchema(attributes), tuples, events)
+
+
+@st.composite
+def tp_query_catalog(
+    draw,
+    max_relations: int = 4,
+    max_intervals: int = 2,
+    max_len: int = 3,
+    max_gap: int = 2,
+):
+    """A catalog of small join-able relations over two schema families.
+
+    Schemas are ``("k", "a")`` and ``("k", "b")``: every relation shares
+    the join key ``k`` (so natural joins are always valid), set
+    operations between families are arity-compatible, and joining the
+    families produces the third schema ``("k", "a", "b")`` — the closure
+    the query-tree strategy builds over.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_relations))
+    catalog: dict[str, TPRelation] = {}
+    for i in range(n):
+        name = f"q{i + 1}"
+        family = draw(st.sampled_from(["a", "b"]))
+        catalog[name] = draw(
+            tp_join_relation(
+                name,
+                ("k", family),
+                ["a1", "a2"] if family == "a" else ["b1", "b2"],
+                max_facts=3,
+                max_intervals=max_intervals,
+                max_len=max_len,
+                max_gap=max_gap,
+            )
+        )
+    return catalog
+
+
+@st.composite
+def query_tree(
+    draw,
+    catalog,
+    max_depth: int = 3,
+    joins: bool = True,
+    selections: bool = True,
+):
+    """A random, schema-correct TP query tree over ``catalog``.
+
+    Composable by construction: selections, all five generalized joins
+    (natural and explicit ``ON k``), and n-ary set-operation chains nest
+    freely to ``max_depth``.  Set-operation operands are kept
+    arity-compatible (positional semantics); when a drawn operand's
+    arity differs, the left operand is repeated instead — which also
+    exercises the repeated-subgoal (#P-hard) valuation path.  The
+    returned tree parses/plans/executes without further assumptions —
+    the metamorphic harness and the query-layer property tests share it.
+    """
+    names = sorted(catalog)
+
+    def leaf():
+        name = draw(st.sampled_from(names))
+        return RelationRef(name), catalog[name].schema
+
+    kinds = ["leaf", "setop", "setop"]
+    if selections:
+        kinds.append("select")
+    if joins:
+        kinds += ["join", "join"]
+
+    def node(depth):
+        kind = draw(st.sampled_from(kinds)) if depth > 0 else "leaf"
+        if kind == "leaf":
+            return leaf()
+        if kind == "select":
+            child, schema = node(depth - 1)
+            attribute = draw(st.sampled_from(schema.attributes))
+            value = draw(st.sampled_from(QUERY_VALUE_POOL))
+            return SelectionNode(child, attribute, value), schema
+        if kind == "join":
+            join_kind = draw(st.sampled_from(JOIN_KINDS))
+            left, left_schema = node(depth - 1)
+            right, right_schema = node(depth - 1)
+            on = draw(st.sampled_from([None, ("k",)]))
+            layout = join_layout_from_schemas(
+                join_kind, left_schema, right_schema, on
+            )
+            return JoinNode(join_kind, left, right, on), layout.out_schema
+        # setop: a chain of 1-2 operators, left-associated as parsed.
+        current, schema = node(depth - 1)
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            op = draw(st.sampled_from(["union", "intersect", "except"]))
+            right, right_schema = node(depth - 1)
+            if right_schema.arity != schema.arity:
+                right = current  # repeat the left operand (same arity)
+            current = SetOpNode(op, current, right)
+        return current, schema
+
+    tree, _ = node(max_depth)
+    return tree
+
+
+@st.composite
+def query_scenario(
+    draw,
+    max_relations: int = 4,
+    max_depth: int = 3,
+    joins: bool = True,
+    selections: bool = True,
+    **catalog_kwargs,
+):
+    """A (catalog, query tree) pair — the metamorphic harness's input."""
+    catalog = draw(
+        tp_query_catalog(max_relations=max_relations, **catalog_kwargs)
+    )
+    tree = draw(
+        query_tree(catalog, max_depth=max_depth, joins=joins, selections=selections)
+    )
+    return catalog, tree
 
 
 @st.composite

@@ -197,6 +197,83 @@ class TestDbCliParallel:
         assert "positive worker count" in capsys.readouterr().err
 
 
+class TestDbCliOptimize:
+    """--optimize {off,safe,aggressive} and the EXPLAIN query prefix."""
+
+    def _out(self, relation_files, tmp_path, name, *extra):
+        a_path, c_path = relation_files
+        out_path = tmp_path / name
+        code = db_main(
+            [
+                "--load", f"a={a_path}",
+                "--load", f"c={c_path}",
+                "--query", "(a | c)[product='milk'] - c",
+                "--out", str(out_path),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return out_path
+
+    def test_safe_output_identical_to_off(self, relation_files, tmp_path, capsys):
+        off = self._out(relation_files, tmp_path, "off.csv")
+        safe = self._out(relation_files, tmp_path, "safe.csv", "--optimize", "safe")
+        assert off.read_text() == safe.read_text()
+
+    def test_aggressive_accepted(self, relation_files, tmp_path, capsys):
+        aggressive = self._out(
+            relation_files, tmp_path, "aggressive.json", "--optimize", "aggressive"
+        )
+        assert load_json(aggressive)  # parses and is non-empty
+
+    def test_invalid_level_rejected(self, relation_files, capsys):
+        a_path, _ = relation_files
+        with pytest.raises(SystemExit):
+            db_main(
+                ["--load", f"a={a_path}", "--query", "a", "--optimize", "fast"]
+            )
+        err = capsys.readouterr().err
+        assert "--optimize must be one of off, safe, aggressive" in err
+        assert "'fast'" in err
+
+    def test_empty_level_rejected(self, relation_files, capsys):
+        a_path, _ = relation_files
+        with pytest.raises(SystemExit):
+            db_main(["--load", f"a={a_path}", "--query", "a", "--optimize", ""])
+        assert "must be one of off, safe, aggressive" in capsys.readouterr().err
+
+    def test_explain_prefix_prints_report(self, relation_files, capsys):
+        a_path, c_path = relation_files
+        code = db_main(
+            [
+                "--load", f"a={a_path}",
+                "--load", f"c={c_path}",
+                "--query", "EXPLAIN a & c",
+                "--optimize", "safe",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer: safe" in out
+        assert "est rows=" in out
+        assert "actual rows=" in out  # the prefix form runs the plan
+
+    def test_explain_flag_reports_level(self, relation_files, capsys):
+        a_path, c_path = relation_files
+        code = db_main(
+            [
+                "--load", f"a={a_path}",
+                "--load", f"c={c_path}",
+                "--explain", "(a | c)[product='milk']",
+                "--optimize", "safe",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer: safe — plan " in out
+        assert "Select[product='milk']" in out  # pushdown visible in the plan
+
+
 class TestBenchCli:
     def test_table2_only(self, tmp_path, capsys):
         code = bench_main(["table2", "--outdir", str(tmp_path)])
@@ -207,3 +284,19 @@ class TestBenchCli:
     def test_unknown_experiment_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             bench_main(["fig99", "--outdir", str(tmp_path)])
+
+
+class TestDbCliExplainOut:
+    def test_explain_query_with_out_rejected(self, relation_files, tmp_path, capsys):
+        a_path, _ = relation_files
+        out_path = tmp_path / "result.json"
+        with pytest.raises(SystemExit):
+            db_main(
+                [
+                    "--load", f"a={a_path}",
+                    "--query", "EXPLAIN a | a",
+                    "--out", str(out_path),
+                ]
+            )
+        assert "cannot be combined with an EXPLAIN query" in capsys.readouterr().err
+        assert not out_path.exists()

@@ -300,6 +300,69 @@ class TestIncrementalRefreshDifferential:
 
 
 # ----------------------------------------------------------------------
+# cost-based optimizer × worker pool
+# ----------------------------------------------------------------------
+class TestOptimizerParallelDifferential:
+    """Optimized queries through the pool ≡ optimized queries serial.
+
+    Two guarantees (DESIGN.md §11): the cost-based *choice* is
+    worker-count-invariant (the worker-aware sweep discount scales
+    candidates, it must not reorder them on this corpus), and executing
+    the chosen plan is bit-identical across worker counts {1, 2} — the
+    PR-4 differential contract extended to every optimization level.
+    """
+
+    QUERIES = (
+        ("r - (r & s)", lambda: generate_pair(400, n_facts=4, seed=9)),
+        ("(r | s | r)[fact='f1'] - s", lambda: generate_pair(400, n_facts=3, seed=5)),
+        (
+            "(r JOIN s ON key)[key='k2']",
+            lambda: generate_join_pair(400, n_keys=5, seed=9),
+        ),
+        (
+            "r LEFT OUTER JOIN s ON key",
+            lambda: generate_join_pair(400, n_keys=5, seed=3),
+        ),
+    )
+
+    @pytest.mark.parametrize("level", ("safe", "aggressive"))
+    @pytest.mark.parametrize("query,maker", QUERIES)
+    def test_chosen_plan_worker_invariant(self, query, maker, level):
+        from repro.db import TPDatabase
+        from repro.query import choose_plan
+
+        r, s = maker()
+        db = TPDatabase()
+        db.register(r.rename("r"))
+        db.register(s.rename("s"))
+        ast = parse_query(query)
+        stats = db._stats_catalog(ast)
+        aggressive = level == "aggressive"
+        serial_choice = choose_plan(ast, stats, aggressive=aggressive, workers=1)
+        pooled_choice = choose_plan(ast, stats, aggressive=aggressive, workers=2)
+        assert serial_choice.chosen == pooled_choice.chosen
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    @pytest.mark.parametrize("level", ("off", "safe", "aggressive"))
+    @pytest.mark.parametrize("query,maker", QUERIES)
+    def test_optimized_results_bit_identical(self, query, maker, level, workers):
+        from repro.db import TPDatabase
+
+        r, s = maker()
+
+        def build():
+            db = TPDatabase()
+            db.register(r.rename("r"))
+            db.register(s.rename("s"))
+            return db
+
+        serial = build().query(query, optimize=level)
+        with parallel_execution(force_parallel(workers)):
+            pooled = build().query(query, optimize=level)
+        assert_bit_identical(pooled, serial)
+
+
+# ----------------------------------------------------------------------
 # chunker unit properties
 # ----------------------------------------------------------------------
 class TestChunker:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
 
 from repro import QueryParseError, UnknownRelationError, UnsupportedOperationError
 from repro.query import (
@@ -15,7 +16,10 @@ from repro.query import (
     plan_query,
     relation_references,
 )
+from repro.query import infer_schema, strip_explain_prefix
 from repro.query.planner import ScanPlan, SetOpPlan
+
+from .strategies import query_scenario
 
 
 class TestParser:
@@ -155,3 +159,32 @@ class TestExecutor:
     def test_scan_only_plan(self, rel_a):
         result = execute_plan(plan_query(parse_query("a")), {"a": rel_a})
         assert result.equivalent_to(rel_a)
+
+
+class TestRandomTreesPlanAndExecute:
+    """The shared query-tree strategy drives the classic layer too:
+    every generated tree must analyze, infer a schema, plan and execute
+    (the metamorphic harness builds on exactly this contract)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(scenario=query_scenario(max_depth=2))
+    def test_generated_trees_plan_and_execute(self, scenario):
+        catalog, query = scenario
+        analysis = analyze(query)
+        assert set(analysis.relations) <= set(catalog)
+        schema = infer_schema(query, {n: r.schema for n, r in catalog.items()})
+        assert schema is not None
+        result = execute_plan(plan_query(query), catalog)
+        assert result.schema.attributes == schema.attributes
+        for t in result:
+            assert t.p is None or 0.0 <= t.p <= 1.0 + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(scenario=query_scenario(max_depth=2, joins=False))
+    def test_explain_prefix_round_trip(self, scenario):
+        """EXPLAIN <query> is recognized exactly when a query follows."""
+        _, query = scenario
+        text = str(query)
+        assert strip_explain_prefix(f"EXPLAIN {text}") == text
+        assert strip_explain_prefix(f"  explain {text}") == text
+        assert strip_explain_prefix(text) is None

@@ -111,7 +111,7 @@ class TestDatabaseWiring:
 
     def test_planner_reads_fresh_view(self, db):
         db.create_view("q", "c - (a | b)")
-        plan_line = db.explain("c - (a | b)").splitlines()[1]
+        plan_line = db.explain("c - (a | b)").splitlines()[2]
         assert "Scan[q]" in plan_line
 
     def test_planner_substitutes_subtrees(self, db):
