@@ -1,0 +1,296 @@
+"""PR-6 performance record: durability overhead and recovery cost.
+
+Regenerates ``BENCH_pr6.json`` with wall-clock measurements of the
+durability layer (DESIGN.md §12):
+
+* ``wal_commit`` — per-transaction cost of an insert workload at
+  ``durability='off'`` (pure in-memory §9 path), ``'batch'`` (WAL
+  append, no fsync) and ``'commit'`` (WAL append + fsync).  The ratios
+  ``batch/off`` and ``commit/off`` are the published overhead numbers;
+  ``commit`` is disk-latency-bound and reported informationally.
+* ``checkpoint`` — cost of writing (and re-loading) a full checkpoint
+  as a function of store size.
+* ``recovery`` — time to recover the same final state two ways: full
+  WAL replay (no checkpoint) vs. newest-checkpoint + empty tail, i.e.
+  the two ends of the replay-length spectrum a ``checkpoint_every``
+  policy interpolates between.
+
+Before any number is published, each durable mode's recovered store is
+asserted **bit-identical** (``store_state``: tuples, intervals, lineage
+strings, event map, epoch, counter) to the in-memory oracle that ran
+the same workload — a benchmark of a wrong store would be meaningless.
+
+The PR-6 acceptance bar — ``batch`` logging stays within
+``MAX_BATCH_OVERHEAD``x of ``off`` per commit — is asserted at
+``--scale 1.0`` on ≥ 2 CPUs (CPU-gated like the PR 4/5 bars; honest
+ratios are recorded regardless).  ``commit`` has no bar: fsync cost is
+a property of the disk, not the code.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pr6.py [--scale F] [--out P]
+
+CI runs a smoke scale and gates the ``batch/off`` overhead via
+``benchmarks/check_regression.py --pr6-max-overhead``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.db import TPDatabase
+from repro.store import (
+    SegmentStore,
+    StorePersistence,
+    recover_store,
+    store_state,
+    write_checkpoint,
+)
+from repro.store.checkpoint import latest_checkpoint
+
+ROUNDS = 3
+MAX_BATCH_OVERHEAD = 10.0
+
+NOMINAL_COMMITS = 400
+TUPLES_PER_COMMIT = 10
+FACTS = 50
+
+
+def _commit_rows(n_commits: int, seed: int = 0) -> list[list]:
+    """Per-commit insert batches, duplicate-free by construction (each
+    fact's intervals advance monotonically across commits)."""
+    rng = random.Random(seed)
+    cursors = {f"g{i}": rng.randrange(4) for i in range(FACTS)}
+    batches = []
+    for _ in range(n_commits):
+        rows = []
+        for _ in range(TUPLES_PER_COMMIT):
+            fact = f"g{rng.randrange(FACTS)}"
+            length = rng.randint(1, 4)
+            start = cursors[fact]
+            rows.append((fact, start, start + length, round(rng.uniform(0.05, 0.95), 3)))
+            cursors[fact] = start + length + rng.randint(1, 3)
+        batches.append(rows)
+    return batches
+
+
+def _run_commits(batches: list, data_dir: Path | None, durability: str) -> tuple:
+    """Run the insert workload; returns (elapsed_seconds, final_state)."""
+    if data_dir is None:
+        db = TPDatabase()
+    else:
+        db = TPDatabase(
+            data_dir=data_dir, durability=durability, checkpoint_every=None
+        )
+    db.create_relation("r", ("g",), batches[0])
+    db.store("r")  # conversion + (durable) attach, outside the loop
+    started = time.perf_counter()
+    for rows in batches[1:]:
+        db.insert("r", rows)
+    elapsed = time.perf_counter() - started
+    state = store_state(db.store("r"))
+    db.close()
+    return elapsed, state
+
+
+def _timing(samples: list[float]) -> dict:
+    return {
+        "min_s": round(min(samples), 6),
+        "mean_s": round(sum(samples) / len(samples), 6),
+        "rounds": len(samples),
+    }
+
+
+def run(scale: float) -> dict:
+    cpu_count = os.cpu_count() or 1
+    bar_active = scale == 1.0 and cpu_count >= 2
+    n_commits = max(20, int(NOMINAL_COMMITS * scale))
+    results: dict = {
+        "meta": {
+            "rounds": ROUNDS,
+            "scale": scale,
+            "cpu_count": cpu_count,
+            "max_batch_overhead": MAX_BATCH_OVERHEAD,
+            "overhead_bar": (
+                "asserted"
+                if bar_active
+                else f"skipped ({cpu_count} CPU(s), scale {scale}; the "
+                f"<= {MAX_BATCH_OVERHEAD}x batch/off bar needs >= 2 CPUs at "
+                f"scale 1.0 — honest ratios recorded regardless)"
+            ),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "methodology": (
+                "wal_commit runs the identical insert workload at "
+                "durability off/batch/commit (fresh directory per round, "
+                "checkpointing disabled so only the append path is "
+                "measured); before timing, each durable mode's recovered "
+                "store is asserted bit-identical to the in-memory oracle. "
+                "Per-commit cost is total wall over transaction count; "
+                "min over rounds is reported.  commit includes one fsync "
+                "per transaction and is disk-bound (informational). "
+                "recovery times recover_store on the same final state "
+                "reached via full WAL replay vs. via checkpoint."
+            ),
+        },
+        "timings": {},
+    }
+
+    batches = _commit_rows(n_commits)
+    root = Path(tempfile.mkdtemp(prefix="bench-pr6-"))
+    try:
+        # -- equivalence before timing -----------------------------------
+        _, oracle = _run_commits(batches, None, "off")
+        for mode in ("batch", "commit"):
+            d = root / f"verify-{mode}"
+            _, live = _run_commits(batches, d, mode)
+            assert live == oracle, f"{mode}: live state diverged from oracle"
+            recovered, _ = recover_store(d / "r")
+            assert store_state(recovered) == oracle, (
+                f"{mode}: recovered state diverged from oracle"
+            )
+
+        # -- wal_commit ---------------------------------------------------
+        samples: dict[str, list[float]] = {"off": [], "batch": [], "commit": []}
+        for round_index in range(ROUNDS):
+            for mode in samples:
+                d = None if mode == "off" else root / f"run-{mode}-{round_index}"
+                elapsed, state = _run_commits(batches, d, mode)
+                assert state == oracle
+                samples[mode].append(elapsed)
+                if d is not None:
+                    shutil.rmtree(d)
+        entry: dict = {
+            "commits": n_commits,
+            "tuples_per_commit": TUPLES_PER_COMMIT,
+        }
+        for mode, times in samples.items():
+            entry[mode] = _timing(times)
+            entry[mode]["per_commit_us"] = round(
+                min(times) / n_commits * 1e6, 2
+            )
+        off_s = entry["off"]["min_s"]
+        if off_s > 0:
+            entry["overhead_batch_vs_off"] = round(
+                entry["batch"]["min_s"] / off_s, 2
+            )
+            entry["overhead_commit_vs_off"] = round(
+                entry["commit"]["min_s"] / off_s, 2
+            )
+        results["timings"]["wal_commit"] = entry
+
+        # -- checkpoint ---------------------------------------------------
+        ckpt_dir = root / "ckpt"
+        ckpt_dir.mkdir()
+        store = SegmentStore("r", ("g",))
+        for rows in batches:
+            store.insert(rows)
+        write_samples, load_samples = [], []
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            path = write_checkpoint(store, ckpt_dir)
+            write_samples.append(time.perf_counter() - started)
+            started = time.perf_counter()
+            checkpoint = latest_checkpoint(ckpt_dir)
+            load_samples.append(time.perf_counter() - started)
+            assert checkpoint is not None and checkpoint.path == path
+        results["timings"]["checkpoint"] = {
+            "store_tuples": len(store),
+            "write": _timing(write_samples),
+            "load": _timing(load_samples),
+        }
+
+        # -- recovery -----------------------------------------------------
+        replay_dir = root / "recover-replay" / "r"
+        wal_store = SegmentStore("r", ("g",))
+        persistence = StorePersistence.attach(
+            wal_store, replay_dir, durability="batch", checkpoint_every=None
+        )
+        for rows in batches:
+            wal_store.insert(rows)
+            persistence.on_commit()
+        persistence.flush()
+        final = store_state(wal_store)
+        ckpt_recover_dir = root / "recover-ckpt" / "r"
+        ckpt_persistence = StorePersistence.attach(
+            wal_store, ckpt_recover_dir, durability="batch", checkpoint_every=None
+        )
+        ckpt_persistence.checkpoint()
+        replay_samples, from_ckpt_samples = [], []
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            recovered, report = recover_store(replay_dir)
+            replay_samples.append(time.perf_counter() - started)
+            assert store_state(recovered) == final and report.replayed == n_commits
+            started = time.perf_counter()
+            recovered, report = recover_store(ckpt_recover_dir)
+            from_ckpt_samples.append(time.perf_counter() - started)
+            assert store_state(recovered) == final and report.replayed == 0
+        persistence.close()
+        ckpt_persistence.close()
+        replay = _timing(replay_samples)
+        from_ckpt = _timing(from_ckpt_samples)
+        results["timings"]["recovery"] = {
+            "wal_records": n_commits,
+            "replay_wal": replay,
+            "from_checkpoint": from_ckpt,
+            "replay_us_per_record": round(
+                replay["min_s"] / n_commits * 1e6, 2
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    overhead = results["timings"]["wal_commit"].get("overhead_batch_vs_off")
+    results["meta"]["batch_overhead"] = overhead
+    if bar_active and overhead is not None:
+        assert overhead <= MAX_BATCH_OVERHEAD, (
+            f"batch logging costs {overhead}x the in-memory commit path "
+            f"(bar: <= {MAX_BATCH_OVERHEAD}x on {cpu_count} CPUs)"
+        )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_pr6.json",
+    )
+    args = parser.parse_args()
+    results = run(args.scale)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}  (cpu_count={results['meta']['cpu_count']})")
+    wal = results["timings"]["wal_commit"]
+    print(
+        f"  wal_commit: off {wal['off']['per_commit_us']}us  "
+        f"batch {wal['batch']['per_commit_us']}us "
+        f"({wal.get('overhead_batch_vs_off', '?')}x)  "
+        f"commit {wal['commit']['per_commit_us']}us "
+        f"({wal.get('overhead_commit_vs_off', '?')}x)"
+    )
+    recovery = results["timings"]["recovery"]
+    print(
+        f"  recovery: replay {recovery['replay_wal']['min_s']}s "
+        f"({recovery['wal_records']} records, "
+        f"{recovery['replay_us_per_record']}us/record)  "
+        f"from checkpoint {recovery['from_checkpoint']['min_s']}s"
+    )
+    checkpoint = results["timings"]["checkpoint"]
+    print(
+        f"  checkpoint: write {checkpoint['write']['min_s']}s  "
+        f"load {checkpoint['load']['min_s']}s "
+        f"({checkpoint['store_tuples']} tuples)"
+    )
+
+
+if __name__ == "__main__":
+    main()

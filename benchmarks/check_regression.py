@@ -28,6 +28,13 @@ process, so it is stable —
   full-scale ≥2x bar asserted by ``bench_pr4.py`` on ≥4-CPU machines)
   applies only when the smoke run's recorded ``cpu_count`` is ≥ 4; on
   smaller runners the workloads are reported as skipped.
+* PR 6: durability overhead.  The ``batch.min_s / off.min_s`` ratio of
+  the ``wal_commit`` workload (WAL append without fsync vs. the pure
+  in-memory commit path) is same-machine, same-process; the gate is an
+  absolute ceiling — the smoke ratio must stay below
+  ``--pr6-max-overhead``.  ``commit`` mode is fsync-bound (a property
+  of the runner's disk, not the code) and reported informationally;
+  like the PR 4/5 gates this one is CPU-gated (< 2 CPUs: skipped).
 * PR 5: cost-based optimizer vs. unoptimized plans.  The
   ``unoptimized.min_s / optimized.min_s`` speedup is same-machine,
   same-process; the floor (``--pr5-min-speedup``) gates the
@@ -235,6 +242,55 @@ def check_optimizer_speedup(
     return failures
 
 
+def check_wal_overhead(
+    committed: dict,
+    smoke: dict,
+    max_overhead: float,
+    min_seconds: float,
+) -> list[str]:
+    """PR-6 gate: batch-WAL/off per-commit overhead ceiling, CPU-gated.
+
+    Iterates the committed record's workloads (a smoke run that silently
+    dropped ``wal_commit`` cannot pass vacuously).  Only the fsync-free
+    ``batch`` mode is gated; ``commit`` is disk-bound and printed
+    informationally."""
+    cpu_count = smoke.get("meta", {}).get("cpu_count", 0)
+    if cpu_count < 2:
+        print(
+            f"  pr6: smoke runner has {cpu_count} CPU(s) — WAL overhead "
+            f"ceiling skipped (needs >= 2 for stable ratios)"
+        )
+        return []
+    failures: list[str] = []
+    for key in committed["timings"]:
+        if key != "wal_commit":
+            continue
+        entry = smoke["timings"].get(key)
+        if entry is None:
+            failures.append(f"pr6 {key}: missing from the smoke run")
+            print(f"  pr6 {key}: MISSING from smoke run")
+            continue
+        off_s = entry["off"]["min_s"]
+        batch_s = entry["batch"]["min_s"]
+        if off_s < min_seconds:
+            print(f"  pr6 {key}: below {min_seconds}s — skipped (noise)")
+            continue
+        overhead = batch_s / off_s if off_s > 0 else float("inf")
+        commit_overhead = entry.get("overhead_commit_vs_off", "?")
+        verdict = "ok" if overhead <= max_overhead else "REGRESSION"
+        print(
+            f"  pr6 {key}: batch/off overhead {overhead:.2f}x "
+            f"(ceiling {max_overhead}x; commit/off {commit_overhead}x "
+            f"informational) {verdict}"
+        )
+        if overhead > max_overhead:
+            failures.append(
+                f"pr6 {key}: batch/off overhead {overhead:.2f}x > "
+                f"ceiling {max_overhead}x"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pr1-committed", type=Path, default=Path("BENCH_pr1.json"))
@@ -250,6 +306,9 @@ def main() -> int:
     parser.add_argument("--pr5-committed", type=Path, default=Path("BENCH_pr5.json"))
     parser.add_argument("--pr5-smoke", type=Path, default=None)
     parser.add_argument("--pr5-min-speedup", type=float, default=1.2)
+    parser.add_argument("--pr6-committed", type=Path, default=Path("BENCH_pr6.json"))
+    parser.add_argument("--pr6-smoke", type=Path, default=None)
+    parser.add_argument("--pr6-max-overhead", type=float, default=10.0)
     parser.add_argument("--tolerance", type=float, default=1.5)
     parser.add_argument("--min-seconds", type=float, default=0.002)
     args = parser.parse_args()
@@ -322,6 +381,21 @@ def main() -> int:
             committed_pr5,
             _load(args.pr5_smoke),
             args.pr5_min_speedup,
+            args.min_seconds,
+        )
+    if args.pr6_smoke is not None:
+        committed_pr6 = _load(args.pr6_committed)
+        committed_meta = committed_pr6.get("meta", {})
+        print(
+            f"PR6 (WAL durability overhead; committed record taken on "
+            f"{committed_meta.get('cpu_count', '?')} CPU(s), batch/off "
+            f"{committed_meta.get('batch_overhead', '?')}x, bar "
+            f"{committed_meta.get('overhead_bar', '?')}):"
+        )
+        failures += check_wal_overhead(
+            committed_pr6,
+            _load(args.pr6_smoke),
+            args.pr6_max_overhead,
             args.min_seconds,
         )
     if failures:

@@ -22,6 +22,18 @@ query with ``EXPLAIN`` (or using ``--explain``) prints the chosen plan
 with estimated vs. actual row counts instead of the result table::
 
     python -m repro.db --load a=a.csv --query "EXPLAIN a | a" --optimize safe
+
+``--data-dir DIR`` opens a durable database (DESIGN.md §12): stores that
+already live under ``DIR`` are crash-recovered before anything else
+runs, relations touched by ``--apply`` persist their transactions to a
+checksummed write-ahead log, and the next invocation with the same
+``--data-dir`` sees them without any ``--load``.  ``--durability
+{off,batch,commit}`` tunes the fsync policy (default ``commit`` when
+``--data-dir`` is given)::
+
+    python -m repro.db --data-dir ./tpdata --load a=a.csv \
+        --apply a=delta.csv --query "a | a"
+    python -m repro.db --data-dir ./tpdata --query "a | a"   # recovered
 """
 
 from __future__ import annotations
@@ -31,7 +43,7 @@ import sys
 from pathlib import Path
 
 from ..query.optimize import OPTIMIZE_LEVELS
-from ..store import load_delta
+from ..store import DURABILITY_LEVELS, load_delta
 from .database import TPDatabase
 from .io import load_csv, load_json, save_csv, save_json
 
@@ -110,6 +122,22 @@ def main(argv: list[str] | None = None) -> int:
         "results are bit-identical to serial execution",
     )
     parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable database directory: stores found under DIR are "
+        "crash-recovered at startup, and transactions applied in this "
+        "run are persisted to a checksummed write-ahead log there",
+    )
+    parser.add_argument(
+        "--durability",
+        default=None,
+        metavar="LEVEL",
+        help="WAL sync policy with --data-dir: commit (default; fsync "
+        "every transaction), batch (append without fsync) or off "
+        "(no persistence)",
+    )
+    parser.add_argument(
         "--optimize",
         default="off",
         metavar="LEVEL",
@@ -130,45 +158,63 @@ def main(argv: list[str] | None = None) -> int:
             f"--optimize must be one of {', '.join(OPTIMIZE_LEVELS)}, "
             f"got {args.optimize!r}"
         )
-
-    db = TPDatabase(parallel=args.parallel)
-    for spec in args.load:
-        _load_spec(db, spec)
-    for spec in args.apply:
-        _apply_spec(db, spec)
-
-    if args.explain:
-        print(
-            db.explain(
-                args.explain, algorithm=args.algorithm, optimize=args.optimize
-            )
+    if args.durability is not None and args.durability not in DURABILITY_LEVELS:
+        parser.error(
+            f"--durability must be one of {', '.join(DURABILITY_LEVELS)}, "
+            f"got {args.durability!r}"
         )
-        return 0
-    if not args.query:
-        parser.error("one of --query or --explain is required")
+    if args.durability is not None and args.data_dir is None:
+        parser.error("--durability requires --data-dir")
 
-    result = db.query(args.query, algorithm=args.algorithm, optimize=args.optimize)
-    if isinstance(result, str):  # EXPLAIN-prefixed query: print the report
-        if args.out:
-            parser.error(
-                "--out expects a relation result; it cannot be combined "
-                "with an EXPLAIN query"
+    db = TPDatabase(
+        parallel=args.parallel,
+        data_dir=args.data_dir,
+        durability=args.durability,
+    )
+    try:
+        for _name, report in sorted(db.recovery_reports.items()):
+            print(report, file=sys.stderr)
+        for spec in args.load:
+            _load_spec(db, spec)
+        for spec in args.apply:
+            _apply_spec(db, spec)
+
+        if args.explain:
+            print(
+                db.explain(
+                    args.explain, algorithm=args.algorithm, optimize=args.optimize
+                )
             )
-        print(result)
-        return 0
-    if args.out:
-        out = Path(args.out)
-        renamed = result.rename(out.stem)
-        if out.suffix == ".json":
-            save_json(renamed, out)
-        elif out.suffix == ".csv":
-            save_csv(renamed, out)
+            return 0
+        if not args.query:
+            parser.error("one of --query or --explain is required")
+
+        result = db.query(
+            args.query, algorithm=args.algorithm, optimize=args.optimize
+        )
+        if isinstance(result, str):  # EXPLAIN-prefixed query: print the report
+            if args.out:
+                parser.error(
+                    "--out expects a relation result; it cannot be combined "
+                    "with an EXPLAIN query"
+                )
+            print(result)
+            return 0
+        if args.out:
+            out = Path(args.out)
+            renamed = result.rename(out.stem)
+            if out.suffix == ".json":
+                save_json(renamed, out)
+            elif out.suffix == ".csv":
+                save_csv(renamed, out)
+            else:
+                raise SystemExit(f"unsupported output format {out.suffix!r}")
+            print(f"wrote {len(result)} tuples to {out}")
         else:
-            raise SystemExit(f"unsupported output format {out.suffix!r}")
-        print(f"wrote {len(result)} tuples to {out}")
-    else:
-        print(result.to_table())
-    return 0
+            print(result.to_table())
+        return 0
+    finally:
+        db.close()
 
 
 if __name__ == "__main__":

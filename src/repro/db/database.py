@@ -27,6 +27,8 @@ recomputing it.
 
 from __future__ import annotations
 
+import shutil
+from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..baselines.interface import SetOpAlgorithm
@@ -47,6 +49,8 @@ from ..query.parser import parse_query, strip_explain_prefix
 from ..query.planner import plan_query, substitute_views
 from ..query.stats import RelationStats, relation_stats
 from ..store import ChangeSet, Delta, MaterializedView, SegmentStore, StoreStatistics
+from ..store import RecoveryError, RecoveryReport, StorePersistence, parse_durability
+from ..store.recovery import DEFAULT_CHECKPOINT_EVERY
 from .catalog import Catalog
 
 __all__ = ["TPDatabase"]
@@ -88,16 +92,84 @@ class TPDatabase:
     environment variable), ``1`` forces serial execution, ``N > 1`` runs
     the parallel engine with N workers.  Results are bit-identical
     either way.
+
+    ``data_dir`` turns on durability (DESIGN.md §12): every store-backed
+    relation gets a subdirectory holding a checksummed write-ahead log
+    plus periodic checkpoints, and opening a database on an existing
+    ``data_dir`` recovers all stores — including after a crash mid-write.
+    ``durability`` selects the level: ``'commit'`` (the default whenever
+    ``data_dir`` is given) fsyncs the WAL on every transaction,
+    ``'batch'`` appends without fsync (crash may lose the OS-buffered
+    tail, never corrupt it), ``'off'`` disables persistence entirely.
+    Without ``data_dir`` durability is ``'off'`` and the hot paths are
+    byte-for-byte those of an in-memory database.
     """
 
-    def __init__(self, *, parallel: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        parallel: Optional[int] = None,
+        data_dir: Union[str, Path, None] = None,
+        durability: Optional[str] = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
         if parallel is not None:
             parallel = parse_workers(str(parallel), source="parallel")
         self.parallel = parallel
+        if durability is not None:
+            durability = parse_durability(durability)
+        if data_dir is None:
+            if durability not in (None, "off"):
+                raise ValueError(
+                    f"durability {durability!r} requires data_dir: there is "
+                    f"nowhere to write the log"
+                )
+            durability = "off"
+        elif durability is None:
+            durability = "commit"
+        self.durability = durability
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.checkpoint_every = checkpoint_every
         self.catalog = Catalog()
         self._stores: dict[str, SegmentStore] = {}
         self._views: dict[str, MaterializedView] = {}
         self._store_stats: dict[str, StoreStatistics] = {}
+        self._persistence: dict[str, StorePersistence] = {}
+        #: Per-store :class:`~repro.store.RecoveryReport` from opening an
+        #: existing ``data_dir`` — what was recovered, replayed, repaired.
+        self.recovery_reports: dict[str, RecoveryReport] = {}
+        if self._durable:
+            assert self.data_dir is not None
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+            self._recover_all()
+
+    @property
+    def _durable(self) -> bool:
+        return self.data_dir is not None and self.durability != "off"
+
+    def _recover_all(self) -> None:
+        """Reopen every store directory under ``data_dir``.
+
+        A directory with no recoverable state (a crash before the very
+        first durable write) is treated as "this store never existed"
+        and skipped; everything else recovers to its committed prefix.
+        """
+        assert self.data_dir is not None
+        for sub in sorted(self.data_dir.iterdir()):
+            if not sub.is_dir():
+                continue
+            try:
+                persistence, report = StorePersistence.open(
+                    sub,
+                    durability=self.durability,
+                    checkpoint_every=self.checkpoint_every,
+                )
+            except RecoveryError:
+                continue
+            store = persistence.store
+            self._stores[store.name] = store
+            self._persistence[store.name] = persistence
+            self.recovery_reports[store.name] = report
 
     # ------------------------------------------------------------------
     # data definition
@@ -147,7 +219,15 @@ class TPDatabase:
                 )
             del self._stores[name]
             self._store_stats.pop(name, None)
+            self._drop_persistence(name)
         self.catalog.register(relation, replace=replace)
+
+    def _drop_persistence(self, name: str) -> None:
+        """Close and erase the on-disk state of a replaced store."""
+        persistence = self._persistence.pop(name, None)
+        if persistence is not None:
+            persistence.close()
+            shutil.rmtree(persistence.directory, ignore_errors=True)
 
     def relation(self, name: str) -> TPRelation:
         """Look a relation (or store snapshot, or view result) up by name."""
@@ -173,6 +253,17 @@ class TPDatabase:
         store = SegmentStore.from_relation(self.catalog[name])
         self._stores[name] = store
         self.catalog.drop(name)
+        if self._durable:
+            assert self.data_dir is not None
+            # The attach protocol checkpoints the seeded content before
+            # the WAL exists, so a crash at any point of the conversion
+            # recovers either the full seed or no store at all.
+            self._persistence[name] = StorePersistence.attach(
+                store,
+                self.data_dir / name,
+                durability=self.durability,
+                checkpoint_every=self.checkpoint_every,
+            )
         return store
 
     def apply(
@@ -188,6 +279,9 @@ class TPDatabase:
         this returns."""
         with parallel_execution(self.parallel):
             changeset = self.store(name).apply(inserts=inserts, deletes=deletes)
+            persistence = self._persistence.get(name)
+            if persistence is not None:
+                persistence.on_commit()
             if changeset:
                 self._notify_views()
         return changeset
@@ -208,6 +302,45 @@ class TPDatabase:
         for view in self._views.values():
             if view.policy == "eager":
                 view.refresh()
+
+    # ------------------------------------------------------------------
+    # durability (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def checkpoint(self, name: Optional[str] = None) -> dict[str, Path]:
+        """Checkpoint one durable store (or all), rotating its WAL.
+
+        Returns the checkpoint file path per store name.  A no-op (empty
+        dict) on a database opened without ``data_dir``."""
+        if name is not None:
+            if name not in self._persistence:
+                raise UnknownRelationError(f"no durable store named {name!r}")
+            targets = [name]
+        else:
+            targets = list(self._persistence)
+        return {n: self._persistence[n].checkpoint() for n in targets}
+
+    def flush(self) -> None:
+        """Drain every durable store's pending commits and fsync its WAL.
+
+        Under ``durability='batch'`` this is the explicit sync point;
+        under ``'commit'`` every transaction already synced."""
+        for persistence in self._persistence.values():
+            persistence.flush()
+
+    def close(self) -> None:
+        """Flush and release all durability resources (log file handles).
+
+        The database remains usable in memory afterwards, but stops
+        persisting; idempotent."""
+        for persistence in self._persistence.values():
+            persistence.close()
+        self._persistence.clear()
+
+    def __enter__(self) -> "TPDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # materialized views
@@ -489,6 +622,9 @@ class TPDatabase:
 
     def __repr__(self) -> str:
         n = len(self.catalog) + len(self._stores)
+        durable = (
+            f", durable[{self.durability}]@{self.data_dir}" if self._durable else ""
+        )
         return (
-            f"TPDatabase({n} relations, {len(self._views)} views)"
+            f"TPDatabase({n} relations, {len(self._views)} views{durable})"
         )

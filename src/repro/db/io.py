@@ -9,14 +9,23 @@ Two formats:
   unless every lineage is atomic (base relation — events are implied).
 * **JSON** — one self-contained document with schema, tuples and events;
   the format used by the benchmark harness to cache generated datasets.
+
+Both savers write atomically (DESIGN.md §12): the complete file is
+built as ``<name>.tmp`` beside the target, fsynced, then
+:func:`os.replace`\\ d into place — a crash mid-save leaves either the
+previous file intact or the new one, never a torn half of each.  The
+boundaries announce themselves to the fault-injection hook
+(:mod:`repro.store.faultpoints`) so the crash harness can prove it.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import Iterator, TextIO, Union
 
 from ..core.interval import Interval
 from ..core.relation import TPRelation
@@ -24,10 +33,31 @@ from ..core.schema import TPSchema, coerce_value, make_fact
 from ..core.tuple import TPTuple
 from ..lineage.formula import Var, variables
 from ..lineage.parser import parse_lineage
+from ..store.faultpoints import trip
 
 __all__ = ["save_json", "load_json", "save_csv", "load_csv"]
 
 _PathLike = Union[str, Path]
+
+
+@contextmanager
+def _atomic_writer(path: Path) -> Iterator[TextIO]:
+    """Write ``path`` via a fsynced temp file and :func:`os.replace`.
+
+    A crash before the replace leaves the previous file untouched (plus
+    a dead ``.tmp`` the next save overwrites); after it, the new file is
+    complete.  There is no observable in-between state.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    trip("io.save.begin")
+    with tmp.open("w", newline="") as handle:
+        yield handle
+        trip("io.save.written")
+        handle.flush()
+        os.fsync(handle.fileno())
+    trip("io.save.synced")
+    os.replace(tmp, path)
+    trip("io.save.replaced")
 
 
 # ----------------------------------------------------------------------
@@ -50,7 +80,8 @@ def save_json(relation: TPRelation, path: _PathLike) -> None:
         ],
         "events": relation.events,
     }
-    Path(path).write_text(json.dumps(document, ensure_ascii=False, indent=1))
+    with _atomic_writer(Path(path)) as handle:
+        handle.write(json.dumps(document, ensure_ascii=False, indent=1))
 
 
 def load_json(path: _PathLike) -> TPRelation:
@@ -77,7 +108,7 @@ def load_json(path: _PathLike) -> TPRelation:
 def save_csv(relation: TPRelation, path: _PathLike) -> None:
     """Write a relation to CSV (+ sidecar events file when needed)."""
     path = Path(path)
-    with path.open("w", newline="") as handle:
+    with _atomic_writer(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(list(relation.schema.attributes) + ["lineage", "ts", "te", "p"])
         for t in relation:
@@ -86,7 +117,7 @@ def save_csv(relation: TPRelation, path: _PathLike) -> None:
             )
     sidecar = path.with_suffix(path.suffix + ".events.csv")
     if not _all_atomic(relation):
-        with sidecar.open("w", newline="") as handle:
+        with _atomic_writer(sidecar) as handle:
             writer = csv.writer(handle)
             writer.writerow(["event", "p"])
             for name, p in sorted(relation.events.items()):

@@ -10,19 +10,38 @@ Determinism: tasks are dispatched with :meth:`Pool.map`, whose results
 come back in *submission* order regardless of worker completion order.
 Combined with the pure-function chunker this makes the merged output a
 function of the input alone (DESIGN.md §10.4).
+
+Worker death (OOM kill, segfault, operator ``kill -9``) is survived
+rather than hung on: ``multiprocessing.Pool`` silently replaces a dead
+worker but never resubmits its in-flight task, so a plain ``map`` would
+block forever.  :func:`run_tasks` therefore polls the pool's worker set
+while waiting and, when a worker vanishes mid-map, discards the pool,
+retries once on a fresh one, and finally falls back to inline serial
+execution with a :class:`RuntimeWarning` — the results are bit-identical
+in every case, only the transport differs.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing
+import warnings
 from typing import Any, Optional
 
 from .workers import init_worker, run_task
 
-__all__ = ["get_pool", "run_tasks", "shutdown_pools"]
+__all__ = ["WorkerDiedError", "get_pool", "run_tasks", "shutdown_pools"]
 
 _POOLS: dict[int, Any] = {}
+
+#: Poll interval while waiting on an in-flight map (seconds).  Small
+#: enough that a killed worker is noticed promptly, large enough that an
+#: uneventful map costs a handful of wakeups.
+_WATCH_INTERVAL = 0.05
+
+
+class WorkerDiedError(multiprocessing.ProcessError):
+    """A pool worker died while a map was in flight; its task is lost."""
 
 
 def _context():
@@ -39,22 +58,58 @@ def get_pool(workers: int):
     return pool
 
 
+def _map_guarded(pool: Any, tasks: list) -> list:
+    """``pool.map`` that notices dead workers instead of hanging.
+
+    The pool's maintenance thread replaces a killed worker with a fresh
+    process but never resubmits the task the victim was holding, so the
+    map's result would simply never become ready.  We watch the worker
+    set (``pool._pool`` — internal, but stable across every CPython 3.x)
+    while waiting: a changed pid set or a non-``None`` exitcode means a
+    worker died, and we raise :class:`WorkerDiedError` rather than wait
+    forever.  Exceptions raised *by* a task propagate unchanged through
+    ``get()``.
+    """
+    result = pool.map_async(run_task, tasks, chunksize=1)
+    baseline = {proc.pid for proc in pool._pool}
+    while True:
+        result.wait(_WATCH_INTERVAL)
+        if result.ready():
+            return result.get()
+        procs = list(pool._pool)
+        if {proc.pid for proc in procs} != baseline or any(
+            proc.exitcode is not None for proc in procs
+        ):
+            raise WorkerDiedError(
+                "a pool worker died mid-map; its in-flight task is lost"
+            )
+
+
 def run_tasks(tasks: list, workers: int) -> list:
     """Run tasks across the pool; results arrive in task order.
 
-    A single task is executed inline — same code, no transport.  A pool
-    whose map fails with an infrastructure error (worker death, broken
-    pipe) is discarded so the next call starts from a fresh pool;
-    ordinary exceptions raised *by* a task propagate unchanged.
+    A single task is executed inline — same code, no transport.  On an
+    infrastructure failure (worker death, broken pipe) the pool is
+    discarded and the whole batch retried once on a fresh pool; if that
+    fails too, the batch runs inline serially with a
+    :class:`RuntimeWarning` — correctness is preserved (tasks are pure,
+    so re-running a lost task is safe), only parallelism is lost.
+    Ordinary exceptions raised *by* a task propagate unchanged.
     """
     if len(tasks) == 1:
         return [run_task(tasks[0])]
-    pool = get_pool(workers)
-    try:
-        return pool.map(run_task, tasks, chunksize=1)
-    except (OSError, multiprocessing.ProcessError):
-        _discard(workers)
-        raise
+    for attempt in range(2):
+        try:
+            return _map_guarded(get_pool(workers), tasks)
+        except (OSError, multiprocessing.ProcessError):
+            _discard(workers)
+    warnings.warn(
+        f"worker pool failed twice ({workers} workers); executing "
+        f"{len(tasks)} task(s) inline serially",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return [run_task(task) for task in tasks]
 
 
 def _discard(workers: int) -> None:

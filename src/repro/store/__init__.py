@@ -24,11 +24,25 @@ False
 3
 """
 
+from .checkpoint import (
+    Checkpoint,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from .delta import Delta, load_delta, save_delta
+from .faultpoints import SimulatedCrash, fault_hook, set_fault_hook
 from .maintenance import (
     MaintenanceStrategy,
     get_maintenance_strategy,
     maintenance_strategies,
+)
+from .recovery import (
+    RecoveryError,
+    RecoveryReport,
+    StorePersistence,
+    recover_store,
+    store_state,
 )
 from .stats import StoreStatistics
 from .segment import (
@@ -38,19 +52,43 @@ from .segment import (
     SegmentStore,
 )
 from .view import REFRESH_POLICIES, MaterializedView
+from .wal import (
+    DURABILITY_LEVELS,
+    WalMeta,
+    WriteAheadLog,
+    parse_durability,
+    scan_wal,
+)
 
 __all__ = [
     "ChangeSet",
+    "Checkpoint",
     "DEFAULT_SEGMENT_CAPACITY",
+    "DURABILITY_LEVELS",
     "Delta",
     "MaintenanceStrategy",
     "MaterializedView",
     "REFRESH_POLICIES",
+    "RecoveryError",
+    "RecoveryReport",
     "Region",
     "SegmentStore",
+    "SimulatedCrash",
+    "StorePersistence",
     "StoreStatistics",
+    "WalMeta",
+    "WriteAheadLog",
+    "fault_hook",
     "get_maintenance_strategy",
+    "latest_checkpoint",
+    "load_checkpoint",
     "load_delta",
     "maintenance_strategies",
+    "parse_durability",
+    "recover_store",
     "save_delta",
+    "scan_wal",
+    "set_fault_hook",
+    "store_state",
+    "write_checkpoint",
 ]

@@ -66,6 +66,12 @@ class ChangeSet:
     surviving tuple's lineage references any more.  Consumers (views)
     apply both, so neither the store's nor any view's event map grows
     with dead variables under a sustained update workload.
+
+    ``counter`` records the store's identifier counter *after* the
+    transaction committed, so a write-ahead-log replay
+    (:mod:`repro.store.recovery`) restores identifier minting exactly:
+    inserts after recovery can never collide with identifiers a lost
+    transaction had already handed out.
     """
 
     epoch: int
@@ -73,6 +79,7 @@ class ChangeSet:
     deleted: tuple[TPTuple, ...]
     events: dict = field(default_factory=dict)
     removed_events: tuple[str, ...] = ()
+    counter: int = 0
 
     def __bool__(self) -> bool:
         return bool(self.inserted or self.deleted)
@@ -254,6 +261,38 @@ class SegmentStore:
         store.events.update(relation.events)
         return store
 
+    @classmethod
+    def restore(
+        cls,
+        name: str,
+        attributes: Sequence[str],
+        tuples: Iterable[TPTuple],
+        events: dict,
+        *,
+        epoch: int,
+        counter: int,
+        segment_capacity: int = DEFAULT_SEGMENT_CAPACITY,
+    ) -> "SegmentStore":
+        """Rebuild a store from persisted state (DESIGN.md §12).
+
+        Unlike :meth:`from_relation` this restores the *full* mutable
+        state — the epoch and the identifier counter — so a recovered
+        store is indistinguishable from the one that crashed: subsequent
+        inserts mint the identifiers the old store would have minted,
+        and consumers registered afterwards see a consistent epoch.
+        ``events`` is carried verbatim (it may hold sidecar-only
+        variables no stored lineage references).
+        """
+        store = cls(name, attributes, segment_capacity=segment_capacity)
+        for t in tuples:
+            store._group_for(t.fact).insert(t)
+            for var in variables(t.lineage):
+                store._var_refs[var] = store._var_refs.get(var, 0) + 1
+        store.events.update(events)
+        store.epoch = epoch
+        store._counter = counter
+        return store
+
     # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
@@ -279,7 +318,7 @@ class SegmentStore:
         delete_specs = [self._parse_delete(row, arity) for row in deletes]
         insert_rows = [self._parse_insert(row, arity) for row in inserts]
         if not delete_specs and not insert_rows:
-            return ChangeSet(self.epoch, (), ())
+            return ChangeSet(self.epoch, (), (), counter=self._counter)
 
         removed: list[TPTuple] = []
         added: list[TPTuple] = []
@@ -339,7 +378,12 @@ class SegmentStore:
                         dropped.append(var)
         self.epoch += 1
         changeset = ChangeSet(
-            self.epoch, tuple(added), tuple(removed), new_events, tuple(dropped)
+            self.epoch,
+            tuple(added),
+            tuple(removed),
+            new_events,
+            tuple(dropped),
+            self._counter,
         )
         self._log.append(changeset)
         self._snapshot = None
@@ -360,6 +404,50 @@ class SegmentStore:
             (*t.fact, t.start, t.end) for t in self.iter_sorted() if predicate(t)
         ]
         return self.apply(deletes=doomed)
+
+    def replay_changeset(self, changeset: ChangeSet) -> None:
+        """Re-apply a logged transaction *verbatim* (WAL replay, §12).
+
+        Unlike :meth:`apply` nothing is re-validated, re-minted or
+        re-logged: the tuples, their identifiers, the event updates and
+        the removals are taken exactly as committed, so a replayed store
+        is bit-identical to the one that produced the change set.  The
+        change set must be the immediate successor of the store's
+        current epoch — recovery feeds them in order.
+        """
+        if changeset.epoch != self.epoch + 1:
+            raise ValueError(
+                f"cannot replay epoch {changeset.epoch} onto store "
+                f"{self.name!r} at epoch {self.epoch} (not contiguous)"
+            )
+        refs = self._var_refs
+        for t in changeset.deleted:
+            group = self._groups.get(t.fact)
+            target = group.find(t.start, t.end) if group else None
+            if target is None:
+                raise ValueError(
+                    f"replay of epoch {changeset.epoch} deletes unknown "
+                    f"tuple {t.fact!r} @ {t.interval} in store {self.name!r}"
+                )
+            group.remove(target)
+            for var in variables(target.lineage):
+                count = refs.get(var, 0) - 1
+                if count > 0:
+                    refs[var] = count
+                else:
+                    refs.pop(var, None)
+        for t in changeset.inserted:
+            self._group_for(t.fact).insert(t)
+            for var in variables(t.lineage):
+                refs[var] = refs.get(var, 0) + 1
+        self._prune_empty_groups()
+        self.events.update(changeset.events)
+        for name in changeset.removed_events:
+            self.events.pop(name, None)
+        self.epoch = changeset.epoch
+        if changeset.counter > self._counter:
+            self._counter = changeset.counter
+        self._snapshot = None
 
     def _parse_delete(self, row: Sequence[object], arity: int):
         values = list(row)

@@ -94,3 +94,63 @@ class TestCsv:
         loaded = load_csv(path)
         (t,) = list(loaded)
         assert t.fact == (7, 21.5)
+
+
+class TestAtomicSaves:
+    """Crash fault injection over the atomic save protocol (§12).
+
+    A simulated crash at every write/fsync/replace boundary must leave
+    the *previous* file contents fully readable — never a torn file —
+    and only the crash after ``os.replace`` exposes the new contents.
+    """
+
+    BOUNDARIES = ["io.save.begin", "io.save.written", "io.save.synced"]
+
+    @pytest.mark.parametrize("boundary", BOUNDARIES)
+    @pytest.mark.parametrize("fmt", ["json", "csv"])
+    def test_crash_before_replace_keeps_old_file(
+        self, rel_a, rel_b, tmp_path, boundary, fmt
+    ):
+        from repro.store import SimulatedCrash, fault_hook
+
+        save = save_json if fmt == "json" else save_csv
+        load = load_json if fmt == "json" else load_csv
+        path = tmp_path / f"rel.{fmt}"
+        save(rel_a, path)
+
+        def hook(name: str) -> None:
+            if name == boundary:
+                raise SimulatedCrash(boundary)
+
+        with fault_hook(hook):
+            with pytest.raises(SimulatedCrash):
+                save(rel_b, path)
+        assert load(path).equivalent_to(rel_a)
+
+    @pytest.mark.parametrize("fmt", ["json", "csv"])
+    def test_crash_after_replace_exposes_new_file(
+        self, rel_a, rel_b, tmp_path, fmt
+    ):
+        from repro.store import SimulatedCrash, fault_hook
+
+        save = save_json if fmt == "json" else save_csv
+        load = load_json if fmt == "json" else load_csv
+        path = tmp_path / f"rel.{fmt}"
+        save(rel_a, path)
+
+        def hook(name: str) -> None:
+            if name == "io.save.replaced":
+                raise SimulatedCrash(name)
+
+        with fault_hook(hook):
+            with pytest.raises(SimulatedCrash):
+                save(rel_b, path)
+        assert load(path).equivalent_to(rel_b)
+
+    def test_dead_tmp_file_is_overwritten_by_next_save(self, rel_a, tmp_path):
+        path = tmp_path / "rel.json"
+        tmp = tmp_path / "rel.json.tmp"
+        tmp.write_text("garbage from a crashed save")
+        save_json(rel_a, path)
+        assert not tmp.exists()
+        assert load_json(path).equivalent_to(rel_a)

@@ -1,0 +1,133 @@
+"""Worker-death resilience of the parallel execution pool (DESIGN.md §12).
+
+``multiprocessing.Pool`` replaces a SIGKILLed worker but silently drops
+the task it was holding, so a plain ``Pool.map`` would hang forever.
+These tests kill real pool workers mid-map and assert the guarded
+dispatch (:func:`repro.exec.pool.run_tasks`) instead (a) detects the
+death, (b) retries the whole batch once on a fresh pool, and (c) falls
+back to inline serial execution — with a ``RuntimeWarning`` — when the
+fresh pool dies too.  Tasks are pure, so re-running a lost batch is
+always safe; every path must produce the same results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import warnings
+
+import pytest
+
+import repro.exec.pool as pool_mod
+import repro.exec.workers as workers_mod
+from repro.exec.pool import WorkerDiedError, shutdown_pools
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="worker-kill tests rely on the fork start method (patched "
+    "task function must be inherited by the children)",
+)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def fake_run_task(task: tuple) -> list:
+    """Test task dispatch, patched over :func:`repro.exec.workers.run_task`.
+
+    ``echo`` returns its payload; ``sleep`` blocks (so a kill can land
+    mid-map); ``die`` SIGKILLs the worker it runs in — but only in a
+    worker, so the inline-serial fallback survives it; ``die-once``
+    additionally leaves a flag file so only the first attempt dies;
+    ``boom`` raises an ordinary task-level exception.
+    """
+    tag = task[0]
+    if tag == "echo":
+        return ["echo", task[1]]
+    if tag == "sleep":
+        time.sleep(task[1])
+        return ["slept", task[1]]
+    if tag == "die":
+        if _in_worker():
+            os.kill(os.getpid(), signal.SIGKILL)
+        return ["survived-inline"]
+    if tag == "die-once":
+        flag = task[1]
+        if _in_worker() and not os.path.exists(flag):
+            with open(flag, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return ["ran-after-retry"]
+    if tag == "boom":
+        raise ValueError("task-level failure")
+    raise AssertionError(f"unknown test task {tag!r}")
+
+
+@pytest.fixture(autouse=True)
+def _patched_pool(monkeypatch):
+    """Fresh pools running the fake dispatch, torn down afterwards.
+
+    Patching before the pool is created matters: fork-started workers
+    inherit the patched module state, and ``map_async`` ships the task
+    function by qualified name, which the children resolve against it.
+    """
+    shutdown_pools()
+    monkeypatch.setattr(workers_mod, "run_task", fake_run_task)
+    monkeypatch.setattr(pool_mod, "run_task", fake_run_task)
+    yield
+    shutdown_pools()
+
+
+def test_healthy_pool_maps_in_order():
+    results = pool_mod.run_tasks([("echo", i) for i in range(8)], workers=2)
+    assert results == [["echo", i] for i in range(8)]
+
+
+def test_task_exception_propagates_unchanged():
+    with pytest.raises(ValueError, match="task-level failure"):
+        pool_mod.run_tasks([("echo", 0), ("boom",)], workers=2)
+
+
+def test_sigkill_mid_map_is_detected_not_hung():
+    """An externally SIGKILLed worker raises WorkerDiedError promptly."""
+    pool = pool_mod.get_pool(2)
+    victim = pool._pool[0].pid
+    assert victim is not None
+    timer = threading.Timer(0.2, os.kill, (victim, signal.SIGKILL))
+    timer.start()
+    try:
+        start = time.monotonic()
+        with pytest.raises(WorkerDiedError):
+            pool_mod._map_guarded(pool, [("sleep", 30.0)] * 4)
+        assert time.monotonic() - start < 10.0  # detected, not timed out
+    finally:
+        timer.cancel()
+        shutdown_pools()
+
+
+def test_transient_death_recovers_via_retry(tmp_path):
+    """A worker that dies once succeeds on the fresh-pool retry, silently."""
+    flag = str(tmp_path / "died-once")
+    tasks = [("die-once", flag), ("echo", 1), ("echo", 2)]
+    with warnings.catch_warnings(record=True) as captured:
+        warnings.simplefilter("always")
+        results = pool_mod.run_tasks(tasks, workers=2)
+    assert results == [["ran-after-retry"], ["echo", 1], ["echo", 2]]
+    assert not [w for w in captured if issubclass(w.category, RuntimeWarning)]
+
+
+def test_persistent_death_falls_back_to_serial():
+    """Both pool attempts die -> inline serial fallback with a warning."""
+    tasks = [("die",), ("echo", 7)]
+    with pytest.warns(RuntimeWarning, match="inline serially"):
+        results = pool_mod.run_tasks(tasks, workers=2)
+    assert results == [["survived-inline"], ["echo", 7]]
+
+
+def test_single_task_runs_inline_without_pool():
+    assert pool_mod.run_tasks([("die",)], workers=4) == [["survived-inline"]]
+    assert not pool_mod._POOLS
