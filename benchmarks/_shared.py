@@ -1,0 +1,134 @@
+"""Scaffolding shared by every benchmark script in this directory.
+
+Before PR 7 each ``bench_pr*.py`` carried its own copy of the same four
+ingredients; they now live here so a methodology fix lands everywhere at
+once:
+
+* :func:`environment_meta` — the ``meta`` block every record starts
+  with (scale, cpu_count, python, machine).  ``check_regression.py``
+  CPU-gates several floors on the recorded ``cpu_count``.
+* :func:`timed` / :func:`warm_stats` — one timed call (valuation memo
+  cleared first, so no run inherits another's warm cache) and the
+  ``{"min_s", "mean_s", "rounds"}`` summary shape all gates consume.
+* :func:`assert_bit_identical` — the equivalence-before-timing
+  discipline: facts, intervals, *identity-equal* interned lineages and
+  float-equal probabilities, compared in null-safe order.  No number is
+  published for outputs this has not accepted.
+* :func:`make_parser` / :func:`write_record` — the common
+  ``--scale``/``--out`` CLI and the JSON writing convention.
+
+The per-PR records (``BENCH_pr1.json`` .. ``BENCH_pr6.json``) are frozen
+historical measurements; new scale/speed claims go through
+``benchmarks/suite.py`` (see ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.sorting import null_safe_key
+from repro.prob.valuation import clear_valuation_cache
+
+__all__ = [
+    "assert_bit_identical",
+    "environment_meta",
+    "make_parser",
+    "timed",
+    "warm_stats",
+    "write_record",
+]
+
+
+def environment_meta(*, scale: float, **extra: object) -> dict:
+    """The ``meta`` block of a benchmark record: environment capture.
+
+    Records what the regression gates and human readers need to
+    interpret the numbers: the dataset scale, the CPU count (several
+    gates are CPU-gated), the Python version and the machine type.
+    Keyword extras are merged in verbatim.
+    """
+    meta: dict = {
+        "scale": scale,
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    meta.update(extra)
+    return meta
+
+
+def timed(fn: Callable[[], object], *, clear_cache: bool = True) -> tuple[float, object]:
+    """Wall-clock one call; returns ``(seconds, result)``.
+
+    Clears the valuation memo first (unless told otherwise) so no timed
+    run inherits a warm probability cache from a previous one.
+    """
+    if clear_cache:
+        clear_valuation_cache()
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+def warm_stats(samples: Sequence[float], *, digits: int = 6) -> dict:
+    """Summarize repeated timings as ``{"min_s", "mean_s", "rounds"}``.
+
+    ``min_s`` is what the gates compare (the least-noise estimate of the
+    true cost); ``mean_s`` is reported for context.
+    """
+    return {
+        "min_s": round(min(samples), digits),
+        "mean_s": round(sum(samples) / len(samples), digits),
+        "rounds": len(samples),
+    }
+
+
+def assert_bit_identical(left: Iterable, right: Iterable, label: str) -> None:
+    """Equivalence before timing: the two outputs must be bit-identical.
+
+    Same row count, and per tuple (in null-safe sorted order) the same
+    fact, the same interval, the *same interned lineage object* and a
+    float-equal probability.  Raises ``AssertionError`` with ``label``
+    on the first divergence.
+    """
+    left_rows = sorted(left, key=null_safe_key)
+    right_rows = sorted(right, key=null_safe_key)
+    assert len(left_rows) == len(right_rows), (
+        f"{label}: row counts diverge ({len(left_rows)} vs {len(right_rows)})"
+    )
+    for t, u in zip(left_rows, right_rows):
+        assert (
+            t.fact == u.fact
+            and t.interval == u.interval
+            and t.lineage is u.lineage
+            and t.p == u.p
+        ), f"{label}: outputs diverge at {t} vs {u}"
+
+
+def make_parser(doc: str | None, default_out: Path) -> argparse.ArgumentParser:
+    """The common benchmark CLI: ``--scale F`` and ``--out PATH``."""
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale factor (1.0 = the committed record's size)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=default_out,
+        help="where to write the JSON record",
+    )
+    return parser
+
+
+def write_record(results: dict, path: Path) -> None:
+    """Write a benchmark record as indented JSON with a trailing newline."""
+    path.write_text(json.dumps(results, indent=2) + "\n")

@@ -38,16 +38,30 @@ where the workloads match the baseline measurement.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import time
 from pathlib import Path
 
 from repro.baselines import get_algorithm
 from repro.core.setops import tp_set_operation
 from repro.datasets import generate_pair
-from repro.prob import clear_valuation_cache
+
+try:  # package context: python -m benchmarks.bench_pr1, pytest
+    from ._shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        timed,
+        warm_stats,
+        write_record,
+    )
+except ImportError:  # script context: python benchmarks/bench_pr1.py
+    from _shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        timed,
+        warm_stats,
+        write_record,
+    )
 
 COLD_ROUNDS = 2
 WARM_ROUNDS = 3
@@ -71,14 +85,7 @@ def _check_bit_identical(r, s) -> None:
     for op in OPS:
         fused = tp_set_operation(op, r, s, fused=True)
         unfused = tp_set_operation(op, r, s, fused=False)
-        assert len(fused) == len(unfused), op
-        for t, u in zip(fused, unfused):
-            assert (
-                t.fact == u.fact
-                and t.interval == u.interval
-                and t.lineage is u.lineage
-                and t.p == u.p
-            ), f"{op}: fused/unfused divergence at {t} vs {u}"
+        assert_bit_identical(fused, unfused, f"{op}: fused vs unfused")
 
 
 def _time_cold(n: int, fn) -> float:
@@ -87,10 +94,8 @@ def _time_cold(n: int, fn) -> float:
     best = float("inf")
     for _ in range(COLD_ROUNDS):
         r, s = generate_pair(n, seed=0)
-        clear_valuation_cache()
-        started = time.perf_counter()
-        fn(r, s)
-        best = min(best, time.perf_counter() - started)
+        seconds, _ = timed(lambda: fn(r, s))
+        best = min(best, seconds)
     return round(best, 4)
 
 
@@ -98,32 +103,25 @@ def _time_warm(r, s, fn) -> dict[str, float]:
     fn(r, s)  # warm-up: populate sort caches, merged events, memo
     samples = []
     for _ in range(WARM_ROUNDS):
-        started = time.perf_counter()
-        fn(r, s)
-        samples.append(time.perf_counter() - started)
-    return {
-        "min_s": round(min(samples), 4),
-        "mean_s": round(sum(samples) / len(samples), 4),
-        "rounds": WARM_ROUNDS,
-    }
+        seconds, _ = timed(lambda: fn(r, s), clear_cache=False)
+        samples.append(seconds)
+    return warm_stats(samples, digits=4)
 
 
 def run(scale: float) -> dict:
     lawa = get_algorithm("LAWA")
     results: dict = {
-        "meta": {
-            "cold_rounds": COLD_ROUNDS,
-            "warm_rounds": WARM_ROUNDS,
-            "scale": scale,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "methodology": (
+        "meta": environment_meta(
+            scale=scale,
+            cold_rounds=COLD_ROUNDS,
+            warm_rounds=WARM_ROUNDS,
+            methodology=(
                 "LawaAlgorithm.compute with materialized probabilities on "
                 "generate_pair datasets; cold = fresh relations + cleared "
                 "valuation memo per round, warm = repeated rounds on the "
                 "same relations (the fig-8 pytest-benchmark regime)"
             ),
-        },
+        ),
         "seed_baseline": SEED_BASELINE,
         "timings": {},
     }
@@ -156,14 +154,12 @@ def run(scale: float) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
+    parser = make_parser(
+        __doc__, Path(__file__).resolve().parent.parent / "BENCH_pr1.json"
     )
     args = parser.parse_args()
     results = run(args.scale)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    write_record(results, args.out)
     print(f"wrote {args.out}")
     for key, entry in results["timings"].items():
         cold = entry.get("speedup_vs_seed_cold")

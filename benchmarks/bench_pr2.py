@@ -35,16 +35,30 @@ gtwindow/naive ratio of a smoke run against the committed record (see
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
-import time
 from pathlib import Path
 
 from repro.algebra import tp_join_operation
 from repro.baselines import naive_join_operation
 from repro.datasets import generate_join_pair
-from repro.prob import clear_valuation_cache
+
+try:  # package context: python -m benchmarks.bench_pr2, pytest
+    from ._shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        timed,
+        warm_stats,
+        write_record,
+    )
+except ImportError:  # script context: python benchmarks/bench_pr2.py
+    from _shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        timed,
+        warm_stats,
+        write_record,
+    )
 
 COLD_ROUNDS = 2
 WARM_ROUNDS = 3
@@ -58,14 +72,7 @@ def _check_identical(r, s) -> None:
     for kind in KINDS:
         kernel = tp_join_operation(kind, r, s, ON)
         naive = naive_join_operation(kind, r, s, ON)
-        assert len(kernel) == len(naive), kind
-        for t, u in zip(kernel, naive):
-            assert (
-                t.fact == u.fact
-                and t.interval == u.interval
-                and t.lineage is u.lineage
-                and t.p == u.p
-            ), f"{kind}: kernel/naive divergence at {t} vs {u}"
+        assert_bit_identical(kernel, naive, f"{kind}: kernel vs naive")
 
 
 def _generate(nominal: int, n_keys: int, scale: float):
@@ -78,10 +85,8 @@ def _time_cold(nominal: int, n_keys: int, scale: float, fn) -> float:
     best = float("inf")
     for _ in range(COLD_ROUNDS):
         (r, s), _, _ = _generate(nominal, n_keys, scale)
-        clear_valuation_cache()
-        started = time.perf_counter()
-        fn(r, s)
-        best = min(best, time.perf_counter() - started)
+        seconds, _ = timed(lambda: fn(r, s))
+        best = min(best, seconds)
     return round(best, 6)
 
 
@@ -89,25 +94,18 @@ def _time_warm(r, s, fn) -> dict[str, float]:
     fn(r, s)  # warm-up: populate sort caches, merged events, memo
     samples = []
     for _ in range(WARM_ROUNDS):
-        started = time.perf_counter()
-        fn(r, s)
-        samples.append(time.perf_counter() - started)
-    return {
-        "min_s": round(min(samples), 6),
-        "mean_s": round(sum(samples) / len(samples), 6),
-        "rounds": WARM_ROUNDS,
-    }
+        seconds, _ = timed(lambda: fn(r, s), clear_cache=False)
+        samples.append(seconds)
+    return warm_stats(samples)
 
 
 def run(scale: float) -> dict:
     results: dict = {
-        "meta": {
-            "cold_rounds": COLD_ROUNDS,
-            "warm_rounds": WARM_ROUNDS,
-            "scale": scale,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "methodology": (
+        "meta": environment_meta(
+            scale=scale,
+            cold_rounds=COLD_ROUNDS,
+            warm_rounds=WARM_ROUNDS,
+            methodology=(
                 "tp_join_operation (GTWINDOW) vs naive_join_operation "
                 "(NAIVE-SWEEP) with materialized probabilities on "
                 "generate_join_pair datasets; cold = fresh relations + "
@@ -115,7 +113,7 @@ def run(scale: float) -> dict:
                 "on the same relations; outputs asserted tuple-identical "
                 "before timing"
             ),
-        },
+        ),
         "timings": {},
     }
     for label, (nominal, n_keys) in WORKLOADS.items():
@@ -150,16 +148,12 @@ def run(scale: float) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_pr2.json",
+    parser = make_parser(
+        __doc__, Path(__file__).resolve().parent.parent / "BENCH_pr2.json"
     )
     args = parser.parse_args()
     results = run(args.scale)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    write_record(results, args.out)
     print(f"wrote {args.out}")
     for key, entry in results["timings"].items():
         speedup = entry.get("speedup_vs_naive_warm")

@@ -32,9 +32,6 @@ incremental/recompute ratio via ``benchmarks/check_regression.py``.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import random
 import time
 from pathlib import Path
@@ -44,6 +41,11 @@ from repro.query.parser import parse_query
 from repro.store import MaterializedView, SegmentStore
 from repro.algebra import tp_join_operation
 from repro.core.setops import tp_set_operation
+
+try:  # package context: python -m benchmarks.bench_pr3, pytest
+    from ._shared import environment_meta, make_parser, warm_stats, write_record
+except ImportError:  # script context: python benchmarks/bench_pr3.py
+    from _shared import environment_meta, make_parser, warm_stats, write_record
 
 ROUNDS = 5
 DELTA_FRACTION = 0.01
@@ -123,16 +125,8 @@ def _run_workload(label, query_text, recompute_fn, r0, s0, n_updates, rng, delta
         "delta_tuples": n_updates,
         "delta_shape": delta_fn.__name__.strip("_").replace("_delta", ""),
         "result_tuples": len(view.relation()),
-        "incremental": {
-            "min_s": round(min(inc_samples), 6),
-            "mean_s": round(sum(inc_samples) / len(inc_samples), 6),
-            "rounds": ROUNDS,
-        },
-        "recompute": {
-            "min_s": round(min(full_samples), 6),
-            "mean_s": round(sum(full_samples) / len(full_samples), 6),
-            "rounds": ROUNDS,
-        },
+        "incremental": warm_stats(inc_samples),
+        "recompute": warm_stats(full_samples),
     }
     if entry["incremental"]["min_s"] > 0:
         entry["speedup_incremental"] = round(
@@ -144,14 +138,12 @@ def _run_workload(label, query_text, recompute_fn, r0, s0, n_updates, rng, delta
 def run(scale: float) -> dict:
     rng = random.Random(42)
     results: dict = {
-        "meta": {
-            "rounds": ROUNDS,
-            "delta_fraction": DELTA_FRACTION,
-            "required_speedup": REQUIRED_SPEEDUP,
-            "scale": scale,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "methodology": (
+        "meta": environment_meta(
+            scale=scale,
+            rounds=ROUNDS,
+            delta_fraction=DELTA_FRACTION,
+            required_speedup=REQUIRED_SPEEDUP,
+            methodology=(
                 "SegmentStore-backed MaterializedView (INCREMENTAL, manual "
                 "policy); per round a 1% update delta (delete + re-insert, "
                 "perturbed p, some intervals shrunk) is applied to r, then "
@@ -165,7 +157,7 @@ def run(scale: float) -> dict:
                 "sample would touch ~20% of all fact chains, far beyond "
                 "the small-delta regime)"
             ),
-        },
+        ),
         "timings": {},
     }
 
@@ -207,16 +199,12 @@ def run(scale: float) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_pr3.json",
+    parser = make_parser(
+        __doc__, Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
     )
     args = parser.parse_args()
     results = run(args.scale)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    write_record(results, args.out)
     print(f"wrote {args.out}")
     for key, entry in results["timings"].items():
         speedup = entry.get("speedup_incremental")

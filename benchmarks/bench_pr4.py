@@ -15,8 +15,9 @@ kernels on the PR-1/PR-2 benchmark workloads:
   sharded by formula.
 
 Before any number is published the parallel output is asserted
-**bit-identical** to the serial one (same tuples, same order, identical
-interned lineage objects, float-equal probabilities).  Each round clears
+**bit-identical** to the serial one (same tuples in null-safe order,
+identical interned lineage objects, float-equal probabilities).  Each
+round clears
 the valuation memo before both the serial and the parallel run, so
 neither side inherits the other's warm cache.
 
@@ -36,10 +37,7 @@ runners with < 4 CPUs).
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
-import platform
 import time
 from pathlib import Path
 
@@ -50,6 +48,23 @@ from repro.exec.config import ParallelConfig, parallel_execution
 from repro.exec.pool import shutdown_pools
 from repro.prob.valuation import clear_valuation_cache
 
+try:  # package context: python -m benchmarks.bench_pr4, pytest
+    from ._shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        warm_stats,
+        write_record,
+    )
+except ImportError:  # script context: python benchmarks/bench_pr4.py
+    from _shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        warm_stats,
+        write_record,
+    )
+
 ROUNDS = 3
 REQUIRED_SPEEDUP = 2.0
 WORKER_COUNTS = (2, 4)
@@ -58,17 +73,6 @@ SETOP_NOMINAL = 50_000  # the fig-8 scale of bench_pr1
 SETOP_FACTS = 200
 JOIN_NOMINAL = 20_000
 JOIN_KEYS = 100
-
-
-def _assert_bit_identical(parallel, serial, label: str) -> None:
-    assert len(parallel) == len(serial), f"{label}: row counts diverge"
-    for p, s in zip(parallel, serial):
-        assert (
-            p.fact == s.fact
-            and p.interval == s.interval
-            and p.lineage is s.lineage
-            and p.p == s.p
-        ), f"{label}: parallel output diverged from serial"
 
 
 def _time(fn, workers: int) -> tuple[float, object]:
@@ -86,7 +90,7 @@ def _run_workload(label: str, fn) -> dict:
     serial_ref = _time(fn, 1)[1]
     for workers in WORKER_COUNTS:
         parallel_ref = _time(fn, workers)[1]
-        _assert_bit_identical(parallel_ref, serial_ref, f"{label}@{workers}")
+        assert_bit_identical(parallel_ref, serial_ref, f"{label}@{workers}")
 
     samples: dict[int, list[float]] = {1: []}
     samples.update({workers: [] for workers in WORKER_COUNTS})
@@ -98,11 +102,7 @@ def _run_workload(label: str, fn) -> dict:
     entry: dict = {"result_tuples": len(serial_ref)}
     for workers, times in samples.items():
         key = "serial" if workers == 1 else f"parallel{workers}"
-        entry[key] = {
-            "min_s": round(min(times), 6),
-            "mean_s": round(sum(times) / len(times), 6),
-            "rounds": ROUNDS,
-        }
+        entry[key] = warm_stats(times)
     for workers in WORKER_COUNTS:
         parallel_min = entry[f"parallel{workers}"]["min_s"]
         if parallel_min > 0:
@@ -116,21 +116,18 @@ def run(scale: float) -> dict:
     cpu_count = os.cpu_count() or 1
     bar_active = scale == 1.0 and cpu_count >= 4
     results: dict = {
-        "meta": {
-            "rounds": ROUNDS,
-            "scale": scale,
-            "workers": list(WORKER_COUNTS),
-            "required_speedup": REQUIRED_SPEEDUP,
-            "cpu_count": cpu_count,
-            "speedup_bar": (
+        "meta": environment_meta(
+            scale=scale,
+            rounds=ROUNDS,
+            workers=list(WORKER_COUNTS),
+            required_speedup=REQUIRED_SPEEDUP,
+            speedup_bar=(
                 "asserted"
                 if bar_active
                 else f"skipped ({cpu_count} CPU(s) available, scale {scale}; "
                 f"the >= {REQUIRED_SPEEDUP}x bar needs >= 4 CPUs at scale 1.0)"
             ),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "methodology": (
+            methodology=(
                 "Each workload runs the identical operation serially and "
                 "under the worker pool (REPRO_PARALLEL semantics); the "
                 "parallel output is asserted bit-identical to the serial "
@@ -142,7 +139,7 @@ def run(scale: float) -> dict:
                 "therefore only meaningful when the recording machine "
                 "has enough CPUs."
             ),
-        },
+        ),
         "timings": {},
     }
 
@@ -207,16 +204,12 @@ def run(scale: float) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_pr4.json",
+    parser = make_parser(
+        __doc__, Path(__file__).resolve().parent.parent / "BENCH_pr4.json"
     )
     args = parser.parse_args()
     results = run(args.scale)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    write_record(results, args.out)
     print(f"wrote {args.out}  (cpu_count={results['meta']['cpu_count']})")
     for key, entry in results["timings"].items():
         speedups = ", ".join(

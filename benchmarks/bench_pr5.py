@@ -37,20 +37,33 @@ CI runs a smoke scale and gates on the optimized/unoptimized ratio via
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
-import platform
 import random
-import time
 from pathlib import Path
 
 from repro import TPRelation
-from repro.core.sorting import null_safe_key
 from repro.datasets import generate_join_pair
 from repro.db import TPDatabase
-from repro.prob.valuation import clear_valuation_cache
 from repro.query import relation_stats
+
+try:  # package context: python -m benchmarks.bench_pr5, pytest
+    from ._shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        timed,
+        warm_stats,
+        write_record,
+    )
+except ImportError:  # script context: python benchmarks/bench_pr5.py
+    from _shared import (
+        assert_bit_identical,
+        environment_meta,
+        make_parser,
+        timed,
+        warm_stats,
+        write_record,
+    )
 
 ROUNDS = 3
 REQUIRED_SPEEDUP = 1.5
@@ -77,48 +90,23 @@ def _chained_relation(name: str, n_tuples: int, n_facts: int, seed: int) -> TPRe
     return TPRelation.from_rows(name, ("g",), rows, validate=False)
 
 
-def _assert_equivalent(optimized, unoptimized, label: str) -> None:
-    assert len(optimized) == len(unoptimized), f"{label}: row counts diverge"
-    left = sorted(optimized, key=null_safe_key)
-    right = sorted(unoptimized, key=null_safe_key)
-    for o, u in zip(left, right):
-        assert (
-            o.fact == u.fact
-            and o.interval == u.interval
-            and o.lineage is u.lineage
-            and o.p == u.p
-        ), f"{label}: optimized output diverged from unoptimized"
-
-
-def _time(fn) -> tuple[float, object]:
-    clear_valuation_cache()
-    started = time.perf_counter()
-    result = fn()
-    elapsed = time.perf_counter() - started
-    return elapsed, result
-
-
 def _run_workload(label: str, db: TPDatabase, query: str) -> dict:
     unoptimized = lambda: db.query(query)  # noqa: E731
     optimized = lambda: db.query(query, optimize="safe")  # noqa: E731
 
     # Warm sorts, interning, statistics and plan caches outside the clock.
-    reference = _time(unoptimized)[1]
-    _assert_equivalent(_time(optimized)[1], reference, label)
+    reference = timed(unoptimized)[1]
+    assert_bit_identical(timed(optimized)[1], reference, label)
 
     samples: dict[str, list[float]] = {"unoptimized": [], "optimized": []}
     for _ in range(ROUNDS):
         # Alternate inside each round for thermal fairness.
-        samples["unoptimized"].append(_time(unoptimized)[0])
-        samples["optimized"].append(_time(optimized)[0])
+        samples["unoptimized"].append(timed(unoptimized)[0])
+        samples["optimized"].append(timed(optimized)[0])
 
     entry: dict = {"result_tuples": len(reference), "query": query}
     for key, times in samples.items():
-        entry[key] = {
-            "min_s": round(min(times), 6),
-            "mean_s": round(sum(times) / len(times), 6),
-            "rounds": ROUNDS,
-        }
+        entry[key] = warm_stats(times)
     if entry["optimized"]["min_s"] > 0:
         entry["speedup_optimized"] = round(
             entry["unoptimized"]["min_s"] / entry["optimized"]["min_s"], 2
@@ -130,21 +118,18 @@ def run(scale: float) -> dict:
     cpu_count = os.cpu_count() or 1
     bar_active = scale == 1.0 and cpu_count >= 2
     results: dict = {
-        "meta": {
-            "rounds": ROUNDS,
-            "scale": scale,
-            "required_speedup": REQUIRED_SPEEDUP,
-            "cpu_count": cpu_count,
-            "speedup_bar": (
+        "meta": environment_meta(
+            scale=scale,
+            rounds=ROUNDS,
+            required_speedup=REQUIRED_SPEEDUP,
+            speedup_bar=(
                 "asserted"
                 if bar_active
                 else f"skipped ({cpu_count} CPU(s) available, scale {scale}; "
                 f"the >= {REQUIRED_SPEEDUP}x bar needs >= 2 CPUs at scale 1.0 "
                 f"for stable timings — honest ratios recorded regardless)"
             ),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "methodology": (
+            methodology=(
                 "Each workload runs TPDatabase.query with optimize='off' "
                 "and optimize='safe' on the same catalog; the optimized "
                 "output is asserted equivalent (tuples, intervals, "
@@ -155,7 +140,7 @@ def run(scale: float) -> dict:
                 "outside the clock (cached per immutable relation, "
                 "incrementally maintained for stores)."
             ),
-        },
+        ),
         "timings": {},
     }
 
@@ -208,16 +193,12 @@ def run(scale: float) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_pr5.json",
+    parser = make_parser(
+        __doc__, Path(__file__).resolve().parent.parent / "BENCH_pr5.json"
     )
     args = parser.parse_args()
     results = run(args.scale)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    write_record(results, args.out)
     print(f"wrote {args.out}  (cpu_count={results['meta']['cpu_count']})")
     for key, entry in results["timings"].items():
         print(

@@ -34,10 +34,7 @@ CI runs a smoke scale and gates the ``batch/off`` overhead via
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
-import platform
 import random
 import shutil
 import tempfile
@@ -53,6 +50,11 @@ from repro.store import (
     write_checkpoint,
 )
 from repro.store.checkpoint import latest_checkpoint
+
+try:  # package context: python -m benchmarks.bench_pr6, pytest
+    from ._shared import environment_meta, make_parser, warm_stats, write_record
+except ImportError:  # script context: python benchmarks/bench_pr6.py
+    from _shared import environment_meta, make_parser, warm_stats, write_record
 
 ROUNDS = 3
 MAX_BATCH_OVERHEAD = 10.0
@@ -99,34 +101,23 @@ def _run_commits(batches: list, data_dir: Path | None, durability: str) -> tuple
     return elapsed, state
 
 
-def _timing(samples: list[float]) -> dict:
-    return {
-        "min_s": round(min(samples), 6),
-        "mean_s": round(sum(samples) / len(samples), 6),
-        "rounds": len(samples),
-    }
-
-
 def run(scale: float) -> dict:
     cpu_count = os.cpu_count() or 1
     bar_active = scale == 1.0 and cpu_count >= 2
     n_commits = max(20, int(NOMINAL_COMMITS * scale))
     results: dict = {
-        "meta": {
-            "rounds": ROUNDS,
-            "scale": scale,
-            "cpu_count": cpu_count,
-            "max_batch_overhead": MAX_BATCH_OVERHEAD,
-            "overhead_bar": (
+        "meta": environment_meta(
+            scale=scale,
+            rounds=ROUNDS,
+            max_batch_overhead=MAX_BATCH_OVERHEAD,
+            overhead_bar=(
                 "asserted"
                 if bar_active
                 else f"skipped ({cpu_count} CPU(s), scale {scale}; the "
                 f"<= {MAX_BATCH_OVERHEAD}x batch/off bar needs >= 2 CPUs at "
                 f"scale 1.0 — honest ratios recorded regardless)"
             ),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "methodology": (
+            methodology=(
                 "wal_commit runs the identical insert workload at "
                 "durability off/batch/commit (fresh directory per round, "
                 "checkpointing disabled so only the append path is "
@@ -138,7 +129,7 @@ def run(scale: float) -> dict:
                 "recovery times recover_store on the same final state "
                 "reached via full WAL replay vs. via checkpoint."
             ),
-        },
+        ),
         "timings": {},
     }
 
@@ -171,7 +162,7 @@ def run(scale: float) -> dict:
             "tuples_per_commit": TUPLES_PER_COMMIT,
         }
         for mode, times in samples.items():
-            entry[mode] = _timing(times)
+            entry[mode] = warm_stats(times)
             entry[mode]["per_commit_us"] = round(
                 min(times) / n_commits * 1e6, 2
             )
@@ -202,8 +193,8 @@ def run(scale: float) -> dict:
             assert checkpoint is not None and checkpoint.path == path
         results["timings"]["checkpoint"] = {
             "store_tuples": len(store),
-            "write": _timing(write_samples),
-            "load": _timing(load_samples),
+            "write": warm_stats(write_samples),
+            "load": warm_stats(load_samples),
         }
 
         # -- recovery -----------------------------------------------------
@@ -234,8 +225,8 @@ def run(scale: float) -> dict:
             assert store_state(recovered) == final and report.replayed == 0
         persistence.close()
         ckpt_persistence.close()
-        replay = _timing(replay_samples)
-        from_ckpt = _timing(from_ckpt_samples)
+        replay = warm_stats(replay_samples)
+        from_ckpt = warm_stats(from_ckpt_samples)
         results["timings"]["recovery"] = {
             "wal_records": n_commits,
             "replay_wal": replay,
@@ -258,16 +249,12 @@ def run(scale: float) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scale", type=float, default=1.0)
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_pr6.json",
+    parser = make_parser(
+        __doc__, Path(__file__).resolve().parent.parent / "BENCH_pr6.json"
     )
     args = parser.parse_args()
     results = run(args.scale)
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    write_record(results, args.out)
     print(f"wrote {args.out}  (cpu_count={results['meta']['cpu_count']})")
     wal = results["timings"]["wal_commit"]
     print(

@@ -43,6 +43,17 @@ process, so it is stable —
   gate — is CPU-gated: skipped when the smoke runner has < 2 CPUs,
   where single-run wall-clock ratios are too noisy to fail a build on.
 
+* SUITE: the unified scenario benchmark suite (``benchmarks/suite.py``,
+  PR 7).  Machine-independent checks always run — the smoke
+  ``BENCH_suite.smoke.json`` must be schema-valid, record
+  ``equivalence.asserted`` for every scenario, and contain every
+  scenario of the committed ``BENCH_suite.json``.  The per-scenario
+  ratio gates (``--suite-max-slowdown``: the ``safe`` optimize level
+  and the store backend must not lose more than that factor against
+  their reference configurations) are CPU-gated like PR 4/5/6 and
+  disabled entirely when the flag is 0 (the CI smoke's "zeroed
+  thresholds" mode).
+
 The job fails when a smoke ratio exceeds ``tolerance`` times the
 committed ratio — i.e. the kernel lost more than that factor against
 its reference since the record was taken.  Entries whose smoke timings
@@ -291,7 +302,108 @@ def check_wal_overhead(
     return failures
 
 
-def main() -> int:
+def check_suite(
+    committed: dict,
+    smoke: dict,
+    max_slowdown: float,
+    min_seconds: float,
+) -> list[str]:
+    """Scenario-suite gate: schema + equivalence always, ratios CPU-gated.
+
+    Machine-independent part (always enforced): the smoke record must be
+    schema-valid (``schema_version``, per-scenario ``equivalence`` and
+    ``timings`` blocks), every scenario must record
+    ``equivalence.asserted == true`` (the suite refuses to time
+    non-equivalent configurations, so a record without the flag was not
+    produced by the suite), and every committed scenario must be present
+    (a smoke run that silently dropped one cannot pass vacuously).
+
+    CPU-gated part (skipped below 2 CPUs, or when ``max_slowdown`` is 0
+    — the "zeroed thresholds" smoke mode): per scenario, the ``safe``
+    optimize level must not be more than ``max_slowdown`` times slower
+    than ``off`` (``speedup_safe >= 1/max_slowdown``) and the store
+    backend must not be more than ``max_slowdown`` times slower than the
+    immutable relation (``overhead_store_vs_relation <= max_slowdown``).
+    Parallel and durability ratios are printed informationally — their
+    honest values are runner-dependent (CPU count, disk) and gated by
+    the dedicated PR-4/PR-6 records instead.
+    """
+    failures: list[str] = []
+    if smoke.get("schema_version") != committed.get("schema_version"):
+        failures.append(
+            f"suite: smoke schema_version {smoke.get('schema_version')!r} != "
+            f"committed {committed.get('schema_version')!r}"
+        )
+        return failures
+    scenarios = smoke.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        failures.append("suite: smoke record has no scenarios")
+        return failures
+    for name, entry in scenarios.items():
+        equivalence = entry.get("equivalence", {})
+        if equivalence.get("asserted") is not True:
+            failures.append(f"suite {name}: equivalence not asserted")
+        timings = entry.get("timings", {})
+        if not timings or not all(
+            isinstance(config.get("min_s"), (int, float))
+            for config in timings.values()
+        ):
+            failures.append(f"suite {name}: missing or malformed timings")
+    for name in committed.get("scenarios", {}):
+        if name not in scenarios:
+            failures.append(f"suite {name}: missing from the smoke run")
+            print(f"  suite {name}: MISSING from smoke run")
+    cpu_count = smoke.get("meta", {}).get("cpu_count", 0)
+    if max_slowdown <= 0:
+        print(
+            "  suite: ratio gates disabled (--suite-max-slowdown 0); "
+            "schema + equivalence checks only"
+        )
+        return failures
+    if cpu_count < 2:
+        print(
+            f"  suite: smoke runner has {cpu_count} CPU(s) — ratio gates "
+            f"skipped (needs >= 2 for stable ratios)"
+        )
+        return failures
+    for name, entry in scenarios.items():
+        timings = entry.get("timings", {})
+        reference = entry.get("equivalence", {}).get("reference")
+        ref_s = timings.get(reference, {}).get("min_s", 0.0)
+        if ref_s < min_seconds:
+            print(f"  suite {name}: below {min_seconds}s — skipped (noise)")
+            continue
+        ratios = entry.get("ratios", {})
+        for key, value in sorted(ratios.items()):
+            if key == "speedup_safe":
+                floor = 1.0 / max_slowdown
+                verdict = "ok" if value >= floor else "REGRESSION"
+                print(
+                    f"  suite {name}: {key} {value:.3f}x "
+                    f"(floor {floor:.3f}x) {verdict}"
+                )
+                if value < floor:
+                    failures.append(
+                        f"suite {name}: {key} {value:.3f}x < floor {floor:.3f}x"
+                    )
+            elif key == "overhead_store_vs_relation":
+                verdict = "ok" if value <= max_slowdown else "REGRESSION"
+                print(
+                    f"  suite {name}: {key} {value:.3f}x "
+                    f"(ceiling {max_slowdown}x) {verdict}"
+                )
+                if value > max_slowdown:
+                    failures.append(
+                        f"suite {name}: {key} {value:.3f}x > "
+                        f"ceiling {max_slowdown}x"
+                    )
+            else:
+                print(f"  suite {name}: {key} {value:.3f}x (informational)")
+    return failures
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gate's CLI (exposed for the doc-consistency tests)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pr1-committed", type=Path, default=Path("BENCH_pr1.json"))
     parser.add_argument("--pr1-smoke", type=Path, required=True)
@@ -309,9 +421,16 @@ def main() -> int:
     parser.add_argument("--pr6-committed", type=Path, default=Path("BENCH_pr6.json"))
     parser.add_argument("--pr6-smoke", type=Path, default=None)
     parser.add_argument("--pr6-max-overhead", type=float, default=10.0)
+    parser.add_argument("--suite-committed", type=Path, default=Path("BENCH_suite.json"))
+    parser.add_argument("--suite-smoke", type=Path, default=None)
+    parser.add_argument("--suite-max-slowdown", type=float, default=3.0)
     parser.add_argument("--tolerance", type=float, default=1.5)
     parser.add_argument("--min-seconds", type=float, default=0.002)
-    args = parser.parse_args()
+    return parser
+
+
+def main() -> int:
+    args = build_parser().parse_args()
 
     failures: list[str] = []
     print("PR1 (fused LAWA kernel vs unfused reference):")
@@ -396,6 +515,21 @@ def main() -> int:
             committed_pr6,
             _load(args.pr6_smoke),
             args.pr6_max_overhead,
+            args.min_seconds,
+        )
+    if args.suite_smoke is not None:
+        committed_suite = _load(args.suite_committed)
+        committed_meta = committed_suite.get("meta", {})
+        print(
+            f"SUITE (scenario benchmark suite; committed record taken on "
+            f"{committed_meta.get('cpu_count', '?')} CPU(s) at scale "
+            f"{committed_meta.get('scale', '?')}, seed "
+            f"{committed_meta.get('seed', '?')}):"
+        )
+        failures += check_suite(
+            committed_suite,
+            _load(args.suite_smoke),
+            args.suite_max_slowdown,
             args.min_seconds,
         )
     if failures:

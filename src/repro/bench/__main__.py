@@ -35,7 +35,8 @@ def _emit(result: SeriesResult, outdir: Path) -> None:
     save_series_csv(result, outdir / f"{slug}_{result.op}.csv")
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The paper-experiment CLI's argument parser (doc-consistency hook)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
@@ -45,6 +46,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--budget", type=float, default=10.0, help="per-run time budget, seconds")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quiet", action="store_true", help="suppress per-run progress lines")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested paper experiments and write their outputs."""
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     requested = args.experiments or ["all"]

@@ -36,6 +36,8 @@ __all__ = [
 
 @dataclass(frozen=True, slots=True)
 class ScalingPoint:
+    """One measured size in a scaling sweep (`per_nlogn` normalizes)."""
+
     n: int
     seconds: float
     per_nlogn: float  # nanoseconds per n·log2(n) unit

@@ -100,6 +100,7 @@ def fig7(
 
 def _synthetic_factory(n: int, seed: int, **config):
     def factory() -> tuple[TPRelation, TPRelation]:
+        """Build the synthetic pair for one sweep point."""
         return generate_pair(n, seed=seed, **config)
 
     return factory
@@ -237,7 +238,10 @@ def _real_world_figure(
     )
 
     def factory_for(n: int):
+        """Bind one sweep size to a sampled-relation factory."""
+
         def factory() -> tuple[TPRelation, TPRelation]:
+            """Sample both sides of the pair at size ``n``."""
             return (
                 sample_relation(base, n, seed),
                 sample_relation(counterpart, n, seed + 1),

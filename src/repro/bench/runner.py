@@ -56,6 +56,7 @@ class SeriesResult:
         return out
 
     def approaches(self) -> list[str]:
+        """Approach names in first-measured order."""
         seen: dict[str, None] = {}
         for m in self.measurements:
             seen.setdefault(m.approach)

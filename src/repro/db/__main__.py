@@ -80,7 +80,12 @@ def _apply_spec(db: TPDatabase, spec: str) -> None:
     )
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser.
+
+    Exposed as a function so the doc-consistency tests can verify that
+    every flag the README documents actually exists (and vice versa).
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.db",
         description="Run temporal-probabilistic set queries over relation files.",
@@ -147,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
         "difference fusion and operand reordering; same facts, intervals "
         "and probabilities, lineage form may differ)",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.parallel is not None and args.parallel < 1:

@@ -1,0 +1,106 @@
+"""Tier-1 tests for the unified benchmark suite runner.
+
+A tiny-scale end-to-end run proves the whole chain the CI smoke leg
+relies on: ``run_suite`` sweeps the configuration grid, asserts
+cross-configuration equivalence before timing, emits a schema-valid
+record, and ``check_regression.check_suite`` consumes that record
+without failures.  Same-seed determinism of the scenario inputs is
+pinned here too (the suite's acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.check_regression import check_suite
+from benchmarks.suite import (
+    SCHEMA_VERSION,
+    Config,
+    build_parser,
+    configs_for,
+    run_suite,
+)
+from repro.bench.workloads import SCENARIOS, iter_scenarios
+
+SCALE = 0.002  # a few dozen tuples per relation: grid sweep in seconds
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def record():
+    """One tiny full-catalog suite run shared by the assertions below."""
+    return run_suite(scale=SCALE, seed=SEED, rounds=1, verbose=False)
+
+
+def test_config_grids_start_with_the_reference():
+    assert configs_for("query")[0] == Config()
+    for kind in ("query", "delta-storm", "session", "commit-stream"):
+        labels = [config.label for config in configs_for(kind)]
+        assert len(labels) == len(set(labels))
+    with pytest.raises(ValueError):
+        configs_for("stress")
+
+
+def test_record_is_schema_valid(record):
+    assert record["schema_version"] == SCHEMA_VERSION
+    meta = record["meta"]
+    assert meta["scale"] == SCALE and meta["seed"] == SEED
+    assert set(meta["scenario_fingerprints"]) == {s.name for s in SCENARIOS}
+    assert set(record["scenarios"]) == {s.name for s in SCENARIOS}
+    for name, entry in record["scenarios"].items():
+        assert entry["equivalence"]["asserted"] is True, name
+        assert entry["equivalence"]["result_rows"] > 0, name
+        labels = entry["equivalence"]["configs"]
+        assert set(entry["timings"]) == set(labels), name
+        for label, timing in entry["timings"].items():
+            assert timing["min_s"] >= 0.0 and timing["rounds"] == 1, (name, label)
+        for value in entry["ratios"].values():
+            assert value > 0.0, name
+
+
+def test_check_suite_accepts_the_record(record):
+    # The record gates against itself: schema, equivalence, presence
+    # and (CPU permitting) the ratio floors all hold.
+    assert check_suite(record, record, 0.0, 0.002) == []
+
+
+def test_check_suite_flags_missing_scenario(record):
+    smoke = {
+        "schema_version": record["schema_version"],
+        "meta": record["meta"],
+        "scenarios": {
+            name: entry
+            for name, entry in record["scenarios"].items()
+            if name != "commit_stream"
+        },
+    }
+    failures = check_suite(record, smoke, 0.0, 0.002)
+    assert any("commit_stream" in failure for failure in failures)
+
+
+def test_check_suite_flags_unasserted_equivalence(record):
+    import copy
+
+    smoke = copy.deepcopy(record)
+    smoke["scenarios"]["uniform_setops"]["equivalence"]["asserted"] = False
+    failures = check_suite(record, smoke, 0.0, 0.002)
+    assert any("equivalence" in failure for failure in failures)
+
+
+def test_same_seed_runs_use_identical_scenario_inputs(record):
+    """The acceptance criterion: a rerun with the same seed generates
+    byte-identical scenario inputs (witnessed by the fingerprints the
+    record carries)."""
+    rebuilt = {
+        s.name: s.fingerprint() for s in iter_scenarios(scale=SCALE, seed=SEED)
+    }
+    assert record["meta"]["scenario_fingerprints"] == rebuilt
+
+
+def test_cli_surface():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["--scale", "0.1", "--seed", "7", "--rounds", "2", "--scenarios", "delta_storm"]
+    )
+    assert args.scale == 0.1 and args.seed == 7
+    assert args.rounds == 2 and args.scenarios == ["delta_storm"]
