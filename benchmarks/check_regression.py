@@ -375,7 +375,7 @@ def check_suite(
             continue
         ratios = entry.get("ratios", {})
         for key, value in sorted(ratios.items()):
-            if key == "speedup_safe":
+            if key in ("speedup_safe", "speedup_cache"):
                 floor = 1.0 / max_slowdown
                 verdict = "ok" if value >= floor else "REGRESSION"
                 print(

@@ -8,6 +8,7 @@ configuration axes —
 * ``workers`` (serial vs. the 2-worker parallel engine),
 * ``backend`` (immutable relation vs. ``SegmentStore`` snapshot),
 * ``durability`` (WAL ``off`` / ``batch`` / fsync-per-``commit``),
+* ``cache`` (the serving layer's plan/result cache on vs. off),
 
 and **asserts bit-identical results across every configuration before
 timing anything** — same facts, same intervals, same lineage, same
@@ -44,6 +45,7 @@ from typing import Optional
 from repro.bench.workloads import Scenario, iter_scenarios, scenario_catalog
 from repro.db import TPDatabase
 from repro.prob.valuation import clear_valuation_cache
+from repro.serve import QueryService
 
 try:  # package context: python -m benchmarks.suite, pytest
     from ._shared import environment_meta, warm_stats, write_record
@@ -66,11 +68,18 @@ class Config:
     workers: int = 1  # 1 | 2
     backend: str = "relation"  # "relation" | "store"
     durability: str = "off"  # "off" | "batch" | "commit"
+    cache: bool = True  # serving result/plan cache on | off
 
     @property
     def label(self) -> str:
-        """The stable key this config gets in ``BENCH_suite.json``."""
-        return f"{self.optimize}-{self.workers}w-{self.backend}-{self.durability}"
+        """The stable key this config gets in ``BENCH_suite.json``.
+
+        ``cache`` only marks the label when disabled, so every
+        pre-serving label (and the committed records keyed by them)
+        stays byte-identical.
+        """
+        label = f"{self.optimize}-{self.workers}w-{self.backend}-{self.durability}"
+        return label if self.cache else f"{label}-nocache"
 
 
 def configs_for(kind: str) -> list[Config]:
@@ -105,6 +114,11 @@ def configs_for(kind: str) -> list[Config]:
         return [
             Config(backend="store", durability=d)
             for d in ("off", "batch", "commit")
+        ]
+    if kind == "serving":
+        return [
+            Config(optimize="safe", backend="store", cache=cache)
+            for cache in (True, False)
         ]
     raise ValueError(f"unknown scenario kind {kind!r}")
 
@@ -153,16 +167,27 @@ def _setup(scenario: Scenario, config: Config, data_dir: Optional[Path]) -> TPDa
     return db
 
 
-def _workload(scenario: Scenario, config: Config, db: TPDatabase) -> list:
-    """Execute the scenario's workload; returns the result relations.
+def _percentile(sorted_values: list, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (non-empty)."""
+    return sorted_values[int(fraction * (len(sorted_values) - 1))]
+
+
+def _workload(
+    scenario: Scenario, config: Config, db: TPDatabase
+) -> tuple[list, dict]:
+    """Execute the scenario's workload; returns (result relations, extras).
 
     This is the timed region: queries for ``query`` scenarios, the
     mutation stream (plus maintained-view upkeep) for ``delta-storm``
-    and ``commit-stream``, the full op stream for ``session``.  Durable
-    runs end with ``flush()`` so the WAL cost is inside the clock.
+    and ``commit-stream``, the full op stream for ``session``, and the
+    concurrent-session request loop for ``serving``.  Durable runs end
+    with ``flush()`` so the WAL cost is inside the clock.  ``extras``
+    carries per-kind measurements (the serving scenario's request count,
+    p50/p95 latency and requests/s); empty for the other kinds.
     """
     kind = scenario.spec.kind
     results: list = []
+    extras: dict = {}
     if kind == "query":
         for query in scenario.queries:
             results.append(db.query(query, optimize=config.optimize))
@@ -187,9 +212,44 @@ def _workload(scenario: Scenario, config: Config, db: TPDatabase) -> list:
             results.append(db.relation("v"))
         for name in scenario.relations:
             results.append(db.relation(name))
+    elif kind == "serving":
+        # N pinned reader sessions re-run the query mix while a writer
+        # session lands the commit batches; one reader re-pins per batch
+        # so the epoch spread stays realistic.  Every response relation
+        # joins the fingerprint, so the cache-on and cache-off configs
+        # are asserted bit-identical across the whole interleaving.
+        service = QueryService(db, cache_size=256 if config.cache else 0)
+        readers = [service.open_session() for _ in range(3)]
+        writer = service.open_session()
+        latencies: list[float] = []
+        for index, (target, delta) in enumerate(scenario.deltas):
+            for session_id in readers:
+                for query in scenario.queries:
+                    started = time.perf_counter()
+                    response = service.execute(
+                        session_id, query, optimize=config.optimize
+                    )
+                    latencies.append(time.perf_counter() - started)
+                    results.append(response.relation)
+            service.commit(
+                writer, target, inserts=delta.inserts, deletes=delta.deletes
+            )
+            service.begin(readers[index % len(readers)])
+        db.flush()
+        for name in scenario.relations:
+            results.append(db.relation(name))
+        latencies.sort()
+        total = sum(latencies)
+        extras = {
+            "requests": len(latencies),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1000, 4),
+            "p95_ms": round(_percentile(latencies, 0.95) * 1000, 4),
+            "rps": round(len(latencies) / total, 2) if total > 0 else None,
+            "cache": service.results.stats(),
+        }
     else:  # pragma: no cover - configs_for already rejects unknown kinds
         raise ValueError(f"unknown scenario kind {kind!r}")
-    return results
+    return results, extras
 
 
 def _run_once(
@@ -198,7 +258,7 @@ def _run_once(
     tmp_root: Path,
     *,
     check_recovery: bool = False,
-) -> tuple[float, tuple]:
+) -> tuple[float, tuple, dict]:
     """One full run: untimed setup, timed workload, canonical fingerprint.
 
     With ``check_recovery`` (the equivalence pass), a durable run is
@@ -213,7 +273,7 @@ def _run_once(
         try:
             clear_valuation_cache()
             started = time.perf_counter()
-            results = _workload(scenario, config, db)
+            results, extras = _workload(scenario, config, db)
             elapsed = time.perf_counter() - started
             fingerprint = tuple(_canonical(r) for r in results)
             store_states = {
@@ -229,7 +289,7 @@ def _run_once(
                         f"{scenario.name} [{config.label}]: recovered store "
                         f"{name!r} diverges from the in-memory state"
                     )
-        return elapsed, fingerprint
+        return elapsed, fingerprint, extras
     finally:
         if data_dir is not None:
             shutil.rmtree(data_dir, ignore_errors=True)
@@ -269,6 +329,11 @@ def _ratios(kind: str, timings: dict[str, dict]) -> dict[str, float]:
         base = _min("off-1w-store-off")
         pairs["overhead_batch_vs_off"] = (_min("off-1w-store-batch"), base)
         pairs["overhead_commit_vs_off"] = (_min("off-1w-store-commit"), base)
+    elif kind == "serving":
+        pairs["speedup_cache"] = (
+            _min("safe-1w-store-off-nocache"),
+            _min("safe-1w-store-off"),
+        )
     ratios: dict[str, float] = {}
     for name, (numerator, denominator) in pairs.items():
         if numerator is not None and denominator not in (None, 0):
@@ -332,7 +397,7 @@ def run_suite(
                 )
             reference: Optional[tuple] = None
             for config in configs:
-                _, fingerprint = _run_once(
+                _, fingerprint, _ = _run_once(
                     scenario, config, tmp_root, check_recovery=True
                 )
                 if reference is None:
@@ -346,10 +411,16 @@ def run_suite(
             assert reference is not None
             timings: dict[str, dict] = {}
             for config in configs:
-                samples = [
-                    _run_once(scenario, config, tmp_root)[0] for _ in range(rounds)
+                runs = [
+                    _run_once(scenario, config, tmp_root) for _ in range(rounds)
                 ]
-                timings[config.label] = warm_stats(samples)
+                timings[config.label] = warm_stats([run[0] for run in runs])
+                # Per-kind extras (the serving scenario's latency
+                # percentiles and throughput) from the fastest round —
+                # consistent with min_s being the headline number.
+                best_extras = min(runs, key=lambda run: run[0])[2]
+                if best_extras:
+                    timings[config.label].update(best_extras)
                 if verbose:
                     print(
                         f"  {config.label:<28} min {timings[config.label]['min_s']:.6f}s"

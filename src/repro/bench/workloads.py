@@ -78,7 +78,10 @@ class ScenarioSpec:
     * ``"session"`` — a mixed stream of query / apply / refresh
       operations against store-backed relations plus a deferred view;
     * ``"commit-stream"`` — a stream of small transactions, the workload
-      the durability axis (WAL off / batch / commit) is measured on.
+      the durability axis (WAL off / batch / commit) is measured on;
+    * ``"serving"`` — concurrent snapshot sessions re-running ``queries``
+      through :class:`repro.serve.QueryService` while ``n_batches``
+      commit batches land — the result-cache regime (DESIGN.md §14).
 
     ``queries`` may reference ``{hot}``, replaced by the most populous
     generated key (``k0``).
@@ -110,7 +113,9 @@ class ScenarioSpec:
                 f"interval_profile must be one of "
                 f"{tuple(INTERVAL_PROFILES)}, got {self.interval_profile!r}"
             )
-        if self.kind not in ("query", "delta-storm", "session", "commit-stream"):
+        if self.kind not in (
+            "query", "delta-storm", "session", "commit-stream", "serving"
+        ):
             raise ValueError(f"unknown scenario kind {self.kind!r}")
 
 
@@ -310,7 +315,10 @@ def _generate_deltas(
 
     Inserts extend each key's chain past its frontier (duplicate-free by
     construction); deletes pick still-live generated tuples, never the
-    same one twice.  Both appear in one batch, like real refresh traffic.
+    same one twice and never one inserted in the *same* batch (a batch's
+    deletes resolve against the pre-transaction state, so deleting a
+    same-batch insert would not apply).  Both appear in one batch, like
+    real refresh traffic.
     """
     rng = _rng(seed, spec.name, "deltas", target)
     keys = sorted(frontier)
@@ -321,11 +329,16 @@ def _generate_deltas(
     for _ in range(n_batches):
         inserts: list[tuple] = []
         deletes: list[tuple] = []
+        fresh: set[tuple[str, int, int]] = set()
         for _ in range(batch_size):
             key = rng.choice(keys)
             bounds = bounds_by_key[key]
-            if live[key] and rng.random() < spec.delete_share:
-                ts, te = live[key].pop(rng.randrange(len(live[key])))
+            deletable = [
+                span for span in live[key] if (key, *span) not in fresh
+            ]
+            if deletable and rng.random() < spec.delete_share:
+                ts, te = deletable[rng.randrange(len(deletable))]
+                live[key].remove((ts, te))
                 deletes.append((key, ts, te))
             else:
                 min_len, max_len, max_gap = bounds
@@ -335,6 +348,7 @@ def _generate_deltas(
                 inserts.append((key, cursor, cursor + length, p))
                 frontier[key] = cursor + length
                 live[key].append((cursor, cursor + length))
+                fresh.add((key, cursor, cursor + length))
         batches.append((target, Delta(inserts=tuple(inserts), deletes=tuple(deletes))))
     return tuple(batches)
 
@@ -410,12 +424,12 @@ def build_scenario(
     scenario = Scenario(
         spec=spec, scale=scale, seed=seed, relations=relations, queries=queries
     )
-    if spec.kind in ("delta-storm", "commit-stream"):
+    if spec.kind in ("delta-storm", "commit-stream", "serving"):
         n_batches = max(2, int(round(spec.n_batches * min(1.0, scale * 2))))
         batch_size = (
-            max(1, int(n_tuples * spec.batch_fraction))
-            if spec.kind == "delta-storm"
-            else max(1, int(round(3 * min(1.0, scale * 2))))
+            max(1, int(round(3 * min(1.0, scale * 2))))
+            if spec.kind == "commit-stream"
+            else max(1, int(n_tuples * spec.batch_fraction))
         )
         scenario.deltas = _generate_deltas(
             spec,
@@ -426,7 +440,10 @@ def build_scenario(
             n_batches,
             batch_size,
         )
-        scenario.view_query = queries[0] if queries else None
+        # Serving queries go through QueryService sessions directly; the
+        # maintained-view axis belongs to the delta-storm scenarios.
+        if spec.kind != "serving":
+            scenario.view_query = queries[0] if queries else None
     elif spec.kind == "session":
         length = max(6, int(round(spec.session_length * min(1.0, scale * 2))))
         scenario.session = _generate_session(
@@ -542,6 +559,21 @@ SCENARIOS: tuple[ScenarioSpec, ...] = (
         queries=("r1 | r2", "(r1 - r2)[k='{hot}']"),
         batch_fraction=0.005,
         session_length=30,
+    ),
+    ScenarioSpec(
+        name="serving",
+        description="Concurrent snapshot sessions re-running queries "
+        "through the query service while commit batches land — the "
+        "plan/result-cache regime.",
+        kind="serving",
+        key_distribution="uniform",
+        interval_profile="short",
+        n_relations=2,
+        n_tuples=6_000,
+        n_facts=30,
+        queries=("r1 | r2", "(r1 - r2)[k='{hot}']"),
+        n_batches=5,
+        batch_fraction=0.01,
     ),
     ScenarioSpec(
         name="commit_stream",

@@ -16,6 +16,7 @@ __all__ = [
     "UnknownVariableError",
     "UnsupportedOperationError",
     "QueryParseError",
+    "SnapshotUnavailableError",
     "ValuationError",
 ]
 
@@ -62,3 +63,12 @@ class QueryParseError(TPError, ValueError):
 
 class ValuationError(TPError, ValueError):
     """A probability valuation failed (e.g. non-1OF input to the 1OF path)."""
+
+
+class SnapshotUnavailableError(TPError, ValueError):
+    """A store cannot reconstruct the view at the requested epoch.
+
+    Raised by :meth:`repro.store.SegmentStore.snapshot` when the epoch
+    lies in the future, or when the change log no longer reaches back to
+    it (pruned) so the historical state cannot be rebuilt.
+    """

@@ -233,6 +233,22 @@ class TPDatabase:
         """Look a relation (or store snapshot, or view result) up by name."""
         return _RuntimeCatalog(self)[name]
 
+    def relation_names(self) -> tuple[str, ...]:
+        """Every resolvable name — views, stores and catalog relations."""
+        return tuple(sorted(set(self._views) | set(self._stores) | set(self.catalog)))
+
+    def store_names(self) -> tuple[str, ...]:
+        """The names currently backed by a mutable :class:`SegmentStore`."""
+        return tuple(sorted(self._stores))
+
+    def view_names(self) -> tuple[str, ...]:
+        """The names of the registered materialized views."""
+        return tuple(sorted(self._views))
+
+    def view_base_stores(self, name: str) -> tuple[str, ...]:
+        """The store names a view's defining query reads (sorted)."""
+        return tuple(sorted(relation_references(self.view(name).query)))
+
     # ------------------------------------------------------------------
     # mutation (the repro.store subsystem)
     # ------------------------------------------------------------------

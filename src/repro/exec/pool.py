@@ -30,7 +30,13 @@ from typing import Any, Optional
 
 from .workers import init_worker, run_task
 
-__all__ = ["WorkerDiedError", "get_pool", "run_tasks", "shutdown_pools"]
+__all__ = [
+    "WorkerDiedError",
+    "get_pool",
+    "pool_worker_pids",
+    "run_tasks",
+    "shutdown_pools",
+]
 
 _POOLS: dict[int, Any] = {}
 
@@ -117,6 +123,23 @@ def _discard(workers: int) -> None:
     if pool is not None:
         pool.terminate()
         pool.join()
+
+
+def pool_worker_pids() -> list[int]:
+    """PIDs of every live pool worker process, across all pools.
+
+    The serving layer's shutdown contract is "no leaked exec-pool
+    workers"; this is the observable the smoke harness checks against
+    (``os.kill(pid, 0)`` after exit must fail for each).
+    """
+    pids: list[int] = []
+    for pool in _POOLS.values():
+        pids.extend(
+            proc.pid
+            for proc in pool._pool
+            if proc.pid is not None and proc.exitcode is None
+        )
+    return pids
 
 
 def shutdown_pools(workers: Optional[int] = None) -> None:

@@ -15,6 +15,7 @@ from .ast import (
 from .cost import Estimate, PlanChoice, choose_plan, estimate, order_multiway_children
 from .executor import execute_plan
 from .explain import render_explain
+from .fingerprint import canonical_key, plan_fingerprint
 from .optimize import (
     MultiOpNode,
     OPTIMIZE_LEVELS,
@@ -60,7 +61,9 @@ __all__ = [
     "StatsCatalog",
     "analyze",
     "canonical_form",
+    "canonical_key",
     "choose_plan",
+    "plan_fingerprint",
     "enumerate_plans",
     "estimate",
     "execute_plan",

@@ -1,0 +1,97 @@
+"""LRU caches with introspection counters (DESIGN.md §14.3).
+
+One generic building block backs both serving caches: the *plan cache*
+(canonical key → physical plan, epoch-free — every plan for a canonical
+form is result-equivalent) and the *result cache* (canonical key +
+optimize level + worker count + epoch signature → materialized
+relation).  The epoch signature inside the result key **is** the
+invalidation mechanism: a commit bumps the store's epoch, so every
+subsequent lookup misses naturally and the stale entry ages out of the
+LRU.  :meth:`LRUCache.sweep` additionally lets the service drop entries
+eagerly once no live session pins their epochs (a cache full of
+unreachable history is wasted memory, not a correctness problem).
+
+Counters (``hits`` / ``misses`` / ``evictions``) are the observable the
+acceptance tests key on: a hot query at a fixed epoch must bump ``hits``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Not thread-safe by design: the serving layer funnels every
+    state-touching call through one executor thread (DESIGN.md §14.2),
+    so locking here would buy nothing.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed to most-recently-used; None on miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def sweep(self, keep: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key fails ``keep``; returns the count.
+
+        Swept entries are not counted as evictions — eviction measures
+        capacity pressure, sweeping measures epoch retirement.
+        """
+        dead = [key for key in self._entries if not keep(key)]
+        for key in dead:
+            del self._entries[key]
+        return len(dead)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: entries, capacity, hits, misses, evictions."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache({len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

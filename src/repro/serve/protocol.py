@@ -1,0 +1,107 @@
+"""The wire protocol: newline-delimited JSON requests and responses.
+
+One JSON object per line, UTF-8, ``\\n``-terminated.  Every request
+carries an ``op`` and may carry a client-chosen ``id``, echoed verbatim
+in the response so pipelined clients can match answers to questions.
+Responses always carry ``ok``; failures carry ``error`` with the
+exception's class name and message, and the connection stays usable —
+a bad query must not cost the client its session.
+
+Operations::
+
+    {"op": "ping"}
+    {"op": "query",  "q": "a | b", "optimize": "safe", "aggressive": false}
+    {"op": "commit", "relation": "a", "inserts": [...], "deletes": [...]}
+    {"op": "create", "relation": "a", "attributes": [...], "rows": [...]}
+    {"op": "begin"}                      # re-pin the session to now
+    {"op": "epochs"}                     # the session's epoch signature
+    {"op": "stats"}                      # cache counters, sessions, pids
+    {"op": "close"}                      # goodbye (server closes after reply)
+
+A ``query`` whose text carries the ``EXPLAIN`` prefix returns the plan
+report under ``"explain"`` instead of ``"relation"``.  Relations are
+serialized in sorted ``(F, Ts)`` order with lineage rendered to its
+canonical string — deliberately canonical, so "bit-identical responses"
+is a meaningful equality across server and oracle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..core.relation import TPRelation
+
+__all__ = [
+    "ProtocolError",
+    "decode_line",
+    "encode_line",
+    "error_payload",
+    "relation_payload",
+]
+
+#: Operations a conforming client may send.
+OPS = ("ping", "query", "commit", "create", "begin", "epochs", "stats", "close")
+
+#: Byte cap for one request/response line (also the reader's buffer limit).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """The client sent something that is not a well-formed request."""
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse and validate one request line into its object form."""
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(OPS)}"
+        )
+    return request
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """Serialize one response object to its wire line.
+
+    ``sort_keys`` plus compact separators make the encoding canonical:
+    equal payloads produce equal bytes, which is what the stress harness
+    compares.  Values outside JSON's types fall back to ``repr`` — both
+    sides of any equality check pass through this same encoder.
+    """
+    return (
+        json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), default=repr
+        ).encode("utf-8")
+        + b"\n"
+    )
+
+
+def relation_payload(relation: TPRelation) -> dict[str, Any]:
+    """A relation's canonical JSON form: schema plus sorted, valued rows."""
+    return {
+        "attributes": list(relation.schema.attributes),
+        "rows": [
+            [list(t.fact), t.start, t.end, str(t.lineage), t.p]
+            for t in relation.sorted_tuples()
+        ],
+    }
+
+
+def error_payload(exc: BaseException, request_id: Optional[Any]) -> dict[str, Any]:
+    """The failure response for an exception, echoing the request id."""
+    payload: dict[str, Any] = {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload

@@ -1,0 +1,66 @@
+"""Snapshot sessions: an epoch-consistent view of the whole database.
+
+A session is what MVCC promises a reader (DESIGN.md §14.1): the moment
+it opens (or re-pins via ``begin``), every store is captured through
+:meth:`repro.store.SegmentStore.snapshot` and every view through its
+refreshed result, and from then on the session's queries read *those*
+immutable relations — writers never block it and its answers never
+tear across a concurrent commit.
+
+Alongside the pinned catalog the session records an *epoch signature*:
+one hashable part per name, precise enough that two sessions share a
+part exactly when they see the same bytes for that name —
+
+- a store pins ``("store", name, epoch)``;
+- a view pins ``("view", name, ((base, epoch), …))`` — its content is a
+  pure function of its base stores' epochs;
+- an immutable catalog relation pins ``("const", name)``.
+
+The signature restricted to a query's referenced names is the epoch
+component of the result-cache key, and the set of parts pinned by live
+sessions is what the cache sweep keeps alive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.relation import TPRelation
+
+__all__ = ["EpochPart", "Session"]
+
+#: One name's contribution to a session's epoch signature.
+EpochPart = tuple
+
+@dataclass
+class Session:
+    """One client's pinned, epoch-consistent view of the database.
+
+    ``catalog`` maps every resolvable name to the immutable relation the
+    session reads for it; ``epochs`` maps the same names to their
+    :data:`EpochPart`.  Holding the relations is what keeps the store's
+    weakly-retained historical snapshots alive (DESIGN.md §14.1).
+    """
+
+    session_id: int
+    catalog: dict[str, TPRelation] = field(default_factory=dict)
+    epochs: dict[str, EpochPart] = field(default_factory=dict)
+
+    def epoch_key(self, names: Iterable[str]) -> tuple[EpochPart, ...]:
+        """The signature restricted to ``names`` (sorted, unknowns skipped).
+
+        Unknown names are left out rather than raised on: execution will
+        report the missing relation with its usual error, and a key that
+        can never be produced twice caches nothing by construction.
+        """
+        return tuple(
+            self.epochs[name] for name in sorted(set(names)) if name in self.epochs
+        )
+
+    def signature(self) -> tuple[EpochPart, ...]:
+        """The full epoch signature, sorted by name."""
+        return tuple(part for _, part in sorted(self.epochs.items()))
+
+    def __repr__(self) -> str:
+        return f"Session(#{self.session_id}, {len(self.catalog)} relations)"

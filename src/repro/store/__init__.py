@@ -50,6 +50,7 @@ from .segment import (
     ChangeSet,
     Region,
     SegmentStore,
+    SnapshotUnavailableError,
 )
 from .view import REFRESH_POLICIES, MaterializedView
 from .wal import (
@@ -74,6 +75,7 @@ __all__ = [
     "Region",
     "SegmentStore",
     "SimulatedCrash",
+    "SnapshotUnavailableError",
     "StorePersistence",
     "StoreStatistics",
     "WalMeta",

@@ -19,7 +19,12 @@ is the mutable counterpart the serving layer stands on:
   (:mod:`repro.store.view`);
 * :meth:`snapshot` produces an immutable relation in ``(F, Ts)`` order
   with ``assume_sorted=True`` — cached per epoch, so read-mostly phases
-  pay the assembly once.
+  pay the assembly once.  ``snapshot(epoch=...)`` additionally pins an
+  *older* epoch-consistent view: snapshots handed out are retained per
+  epoch via weak references for as long as anyone (a serving session)
+  holds them, and an unretained historical epoch is reconstructed by
+  reverse-replaying the change log — the MVCC read side of DESIGN.md
+  §14, where readers never block the writer.
 
 The duplicate-freeness invariant of the paper (Section III) is enforced
 at the transaction boundary: a batch whose net effect would overlap two
@@ -34,14 +39,21 @@ from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
-from ..core.errors import DuplicateFactError
+from ..core.errors import DuplicateFactError, SnapshotUnavailableError
 from ..core.interval import Interval
 from ..core.relation import TPRelation
 from ..core.schema import Fact, TPSchema, make_fact
+from ..core.sorting import null_safe_fact_key
 from ..core.tuple import TPTuple, base_tuple
-from ..lineage.formula import variables
+from ..lineage.formula import Var, variables
 
-__all__ = ["ChangeSet", "Region", "SegmentStore", "DEFAULT_SEGMENT_CAPACITY"]
+__all__ = [
+    "ChangeSet",
+    "Region",
+    "SegmentStore",
+    "SnapshotUnavailableError",
+    "DEFAULT_SEGMENT_CAPACITY",
+]
 
 #: A dirty region: changes to ``fact`` are confined to ``[lo, hi)``.
 Region = tuple  # (Fact, int, int)
@@ -232,6 +244,12 @@ class SegmentStore:
         self._var_refs: dict[str, int] = {}
         self._counter = 0
         self._snapshot: Optional[tuple[int, TPRelation]] = None
+        # Epoch → snapshot relation, weakly referenced: a snapshot stays
+        # retrievable for exactly as long as some reader still holds it
+        # (a pinned serving session), and costs nothing once released.
+        self._retained: "weakref.WeakValueDictionary[int, TPRelation]" = (
+            weakref.WeakValueDictionary()
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -557,21 +575,109 @@ class SegmentStore:
     def __contains__(self, fact: Fact) -> bool:
         return fact in self._groups
 
-    def snapshot(self) -> TPRelation:
-        """An immutable relation of the current contents (cached per epoch)."""
-        cached = self._snapshot
-        if cached is not None and cached[0] == self.epoch:
-            return cached[1]
-        relation = TPRelation(
+    def snapshot(self, epoch: Optional[int] = None) -> TPRelation:
+        """An immutable, epoch-consistent relation of the store's contents.
+
+        Without ``epoch`` (or at the current epoch) this is the cached
+        current view: repeated calls between transactions return the
+        *same* relation object, so downstream caches keyed on relation
+        identity (optimizer statistics, valuation memos) stay warm.
+
+        With an older ``epoch`` it is the MVCC read path (DESIGN.md
+        §14): the exact relation the store would have snapshotted right
+        after that epoch's transaction committed.  Snapshots are
+        retained per epoch through weak references — as long as any
+        reader holds one (a pinned serving session), re-requesting that
+        epoch is a dictionary hit and the writer never copies anything.
+        An unretained historical epoch is reconstructed by
+        reverse-replaying the change log (inserts removed, deletes
+        re-added, event probabilities recovered from the deleted base
+        tuples); :class:`SnapshotUnavailableError` is raised when the
+        epoch lies in the future or the log no longer reaches back.
+        """
+        if epoch is None or epoch == self.epoch:
+            cached = self._snapshot
+            if cached is not None and cached[0] == self.epoch:
+                return cached[1]
+            relation = TPRelation(
+                self.name,
+                self.schema,
+                list(self.iter_sorted()),
+                self.events,
+                validate=False,
+                assume_sorted=True,
+            )
+            self._snapshot = (self.epoch, relation)
+            self._retained[self.epoch] = relation
+            return relation
+        if epoch > self.epoch:
+            raise SnapshotUnavailableError(
+                f"store {self.name!r} is at epoch {self.epoch}; "
+                f"epoch {epoch} has not happened yet"
+            )
+        retained = self._retained.get(epoch)
+        if retained is not None:
+            return retained
+        relation = self._reconstruct(epoch)
+        self._retained[epoch] = relation
+        return relation
+
+    def _reconstruct(self, epoch: int) -> TPRelation:
+        """Rebuild the relation at a past ``epoch`` from the change log.
+
+        Walks the change sets committed after ``epoch`` newest-first,
+        undoing each: inserted tuples are dropped, deleted tuples are
+        restored (the very objects the log holds, so the rebuilt state
+        is bit-identical to the original), minted events are removed and
+        dropped events recovered — a dropped event's probability is the
+        ``p`` of the deleted base tuple whose lineage is that single
+        variable (events are only dropped when their last referencing
+        tuple is deleted).
+        """
+        try:
+            changesets = self.changes_since(epoch)
+        except ValueError as exc:
+            raise SnapshotUnavailableError(
+                f"store {self.name!r} cannot reconstruct epoch {epoch}: {exc}"
+            ) from exc
+        tuples = {(t.fact, t.start, t.end): t for t in self.iter_sorted()}
+        events = dict(self.events)
+        for cs in reversed(changesets):
+            for t in cs.inserted:
+                tuples.pop((t.fact, t.start, t.end), None)
+            for t in cs.deleted:
+                tuples[(t.fact, t.start, t.end)] = t
+            for name in cs.events:
+                events.pop(name, None)
+            for name in cs.removed_events:
+                recovered = None
+                for t in cs.deleted:
+                    lineage = t.lineage
+                    if isinstance(lineage, Var) and lineage.name == name:
+                        recovered = t.p
+                        break
+                if recovered is None:
+                    raise SnapshotUnavailableError(
+                        f"store {self.name!r} cannot reconstruct epoch "
+                        f"{epoch}: dropped event {name!r} has no "
+                        f"recoverable probability in the change log"
+                    )
+                events[name] = recovered
+        ordered = sorted(
+            tuples.values(), key=lambda t: (null_safe_fact_key(t.fact), t.start)
+        )
+        return TPRelation(
             self.name,
             self.schema,
-            list(self.iter_sorted()),
-            self.events,
+            ordered,
+            events,
             validate=False,
             assume_sorted=True,
         )
-        self._snapshot = (self.epoch, relation)
-        return relation
+
+    def retained_epochs(self) -> tuple[int, ...]:
+        """Epochs whose snapshots are currently alive (monitoring/tests)."""
+        return tuple(sorted(self._retained.keys()))
 
     def segment_stats(self) -> dict[str, int]:
         """Shape of the physical layout, for tests and monitoring."""

@@ -798,15 +798,19 @@ class RecomputeEngine:
     def refresh(self) -> bool:
         if self._relation is not None and self.is_fresh():
             return False
+        # Pin the epochs first, then evaluate every scan through the
+        # public epoch-pinned snapshot API: the recompute reads one
+        # consistent cut of the stores even if a scan is revisited.
+        self._seen = {name: store.epoch for name, store in self._stores.items()}
         with parallel_execution(self._parallel):
             result = self._evaluate(self._query)
             self._relation = result.materialize_probabilities(options=self._options)
-        self._seen = {name: store.epoch for name, store in self._stores.items()}
         return True
 
     def _evaluate(self, node: QueryNode) -> TPRelation:
         if isinstance(node, RelationRef):
-            return self._stores[node.name].snapshot()
+            store = self._stores[node.name]
+            return store.snapshot(epoch=self._seen[node.name])
         if isinstance(node, SelectionNode):
             child = self._evaluate(node.child)
             return child.select(**{node.attribute: node.value})

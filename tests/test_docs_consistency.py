@@ -18,6 +18,7 @@ from benchmarks.check_regression import build_parser as regression_parser
 from benchmarks.suite import build_parser as suite_parser
 from repro.bench.__main__ import build_parser as bench_parser
 from repro.db.__main__ import build_parser as db_parser
+from repro.serve.__main__ import build_parser as serve_parser
 
 REPO = Path(__file__).resolve().parent.parent
 README = REPO / "README.md"
@@ -26,13 +27,18 @@ DESIGN = REPO / "DESIGN.md"
 
 FLAG = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
 
-#: The flags the README is required to document (PR-7 acceptance).
+#: The flags the README is required to document (PR-7 acceptance, plus
+#: the PR-8 serving CLI).
 REQUIRED_IN_README = {
     "--parallel",
     "--optimize",
     "--explain",
     "--data-dir",
     "--durability",
+    "--port",
+    "--workers",
+    "--request-timeout",
+    "--cache-size",
 }
 
 
@@ -42,7 +48,13 @@ def documented_flags(path: Path) -> set[str]:
 
 def real_flags() -> set[str]:
     flags: set[str] = set()
-    for parser in (db_parser(), suite_parser(), regression_parser(), bench_parser()):
+    for parser in (
+        db_parser(),
+        serve_parser(),
+        suite_parser(),
+        regression_parser(),
+        bench_parser(),
+    ):
         for action in parser._actions:
             flags.update(s for s in action.option_strings if s.startswith("--"))
     return flags
@@ -51,7 +63,9 @@ def real_flags() -> set[str]:
 def test_front_door_documents_exist():
     assert README.is_file(), "README.md is the repository's front door"
     assert BENCH_DOC.is_file(), "docs/benchmarks.md is the methodology page"
-    assert "## §13" in DESIGN.read_text(), "DESIGN.md must cover the suite (§13)"
+    design = DESIGN.read_text()
+    assert "## §13" in design, "DESIGN.md must cover the suite (§13)"
+    assert "## §14" in design, "DESIGN.md must cover the query service (§14)"
 
 
 @pytest.mark.parametrize("path", [README, BENCH_DOC], ids=lambda p: p.name)

@@ -1,0 +1,136 @@
+"""Serving-cache correctness: key composition, LRU mechanics, sweeping.
+
+The regression that must never ship (DESIGN.md §14.3): a *near-miss*
+key — same query text, different optimize level, worker count or epoch
+— aliasing a cached result.  The key is (canonical form, level,
+workers, epoch signature); these tests pin each component's presence by
+driving real queries through :class:`repro.serve.QueryService`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import TPDatabase
+from repro.serve import LRUCache, QueryService
+
+
+def _db() -> TPDatabase:
+    db = TPDatabase()
+    db.create_relation(
+        "a", ("product",), [("milk", 2, 10, 0.3), ("chips", 4, 7, 0.8)]
+    )
+    db.create_relation("b", ("product",), [("milk", 5, 12, 0.5)])
+    return db
+
+
+# ----------------------------------------------------------------------
+# the LRU building block
+# ----------------------------------------------------------------------
+def test_lru_eviction_order_and_counters():
+    cache = LRUCache(2)
+    cache.put("x", 1)
+    cache.put("y", 2)
+    assert cache.get("x") == 1  # refreshes x: y is now the LRU tail
+    cache.put("z", 3)
+    assert cache.get("y") is None
+    assert cache.get("x") == 1 and cache.get("z") == 3
+    stats = cache.stats()
+    assert stats["evictions"] == 1
+    assert stats["hits"] == 3 and stats["misses"] == 1
+
+
+def test_lru_capacity_zero_disables_caching():
+    cache = LRUCache(0)
+    cache.put("x", 1)
+    assert cache.get("x") is None
+    with pytest.raises(ValueError):
+        LRUCache(-1)
+
+
+def test_lru_sweep_does_not_count_as_eviction():
+    cache = LRUCache(8)
+    for index in range(4):
+        cache.put(index, index)
+    assert cache.sweep(lambda key: key % 2 == 0) == 2
+    assert cache.stats()["entries"] == 2
+    assert cache.stats()["evictions"] == 0
+
+
+# ----------------------------------------------------------------------
+# result-cache key composition (the near-miss regression)
+# ----------------------------------------------------------------------
+def test_same_query_different_optimize_level_never_aliases():
+    service = QueryService(_db())
+    session = service.open_session()
+    first = service.execute(session, "a | b", optimize="safe")
+    assert first.cached is False
+    near_miss = service.execute(session, "a | b", optimize="off")
+    assert near_miss.cached is False, (
+        "a different optimize level aliased the cached result"
+    )
+    aggressive = service.execute(session, "a | b", optimize="aggressive")
+    assert aggressive.cached is False
+    # The exact key (query, level, epoch) does hit.
+    assert service.execute(session, "a | b", optimize="safe").cached is True
+    assert service.execute(session, "a | b", optimize="off").cached is True
+
+
+def test_canonically_equal_queries_share_one_entry():
+    service = QueryService(_db())
+    session = service.open_session()
+    service.execute(session, "(a | b) | a", optimize="safe")
+    reassociated = service.execute(session, "a | (b | a)", optimize="safe")
+    assert reassociated.cached is True, (
+        "canonically equal queries must share a cache entry"
+    )
+
+
+def test_commit_changes_the_epoch_key_and_misses():
+    service = QueryService(_db())
+    session = service.open_session()
+    before = service.execute(session, "a | b", optimize="safe")
+    service.commit(session, "a", inserts=[("beer", 3, 8, 0.5)])
+    after = service.execute(session, "a | b", optimize="safe")
+    assert after.cached is False
+    assert after.epoch_key != before.epoch_key
+    facts = {t.fact[0] for t in after.relation}
+    assert "beer" in facts
+
+
+def test_commit_to_unreferenced_store_keeps_the_entry_hot():
+    db = _db()
+    service = QueryService(db)
+    session = service.open_session()
+    db.store("b")  # make b mutable so its epoch can move
+    service.execute(session, "a | a", optimize="safe")
+    service.commit(session, "b", inserts=[("beer", 3, 8, 0.5)])
+    assert service.execute(session, "a | a", optimize="safe").cached is True, (
+        "a commit to an unreferenced relation must not invalidate the entry"
+    )
+
+
+def test_sweep_retires_epochs_no_session_pins():
+    service = QueryService(_db())
+    reader = service.open_session()
+    writer = service.open_session()
+    service.execute(reader, "a | b", optimize="safe")
+    service.commit(writer, "a", inserts=[("beer", 3, 8, 0.5)])
+    service.execute(writer, "a | b", optimize="safe")
+    assert service.results.stats()["entries"] == 2  # old epoch still pinned
+    service.close_session(reader)
+    assert service.results.stats()["entries"] == 1, (
+        "closing the pinning session must retire the historical entry"
+    )
+
+
+def test_cache_size_zero_service_still_correct():
+    service = QueryService(_db(), cache_size=0)
+    session = service.open_session()
+    first = service.execute(session, "a | b", optimize="safe")
+    second = service.execute(session, "a | b", optimize="safe")
+    assert second.cached is False
+    rows = lambda r: [  # noqa: E731 - tiny local canonicalizer
+        (t.fact, t.start, t.end, str(t.lineage), t.p) for t in r
+    ]
+    assert rows(first.relation) == rows(second.relation)

@@ -1,0 +1,129 @@
+"""Session stress: concurrent readers vs. a serial oracle (DESIGN.md §14).
+
+The MVCC claim, made falsifiable: while a ``delta_storm`` workload
+(reused from :mod:`repro.bench.workloads`) commits batch after batch,
+every open reader session must keep answering from **one** consistent
+epoch — and its answers must be bit-identical (facts, intervals,
+lineage text, probabilities) to a serial oracle that replays exactly
+that many batches into a fresh database and runs the same query.
+
+Hypothesis drives the schedule: which batch each reader opens after,
+the optimize level, and the workload seed.  Caching is on throughout,
+so a cache that leaked across epochs, levels or sessions would show up
+as an oracle divergence here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import build_scenario, scenario_catalog
+from repro.db import TPDatabase
+from repro.serve import QueryService
+
+#: delta_storm, shrunk to property-test size but with enough batches
+#: that reader schedules can spread across a real epoch history.
+_SPEC = replace(
+    scenario_catalog()["delta_storm"],
+    n_tuples=120,
+    n_facts=8,
+    n_batches=6,
+    batch_fraction=0.05,
+)
+
+
+def _canonical(relation) -> list:
+    rows = [(t.fact, t.start, t.end, str(t.lineage), t.p) for t in relation]
+    rows.sort(key=repr)
+    return rows
+
+
+def _oracle(scenario, upto: int, query: str, level) -> list:
+    """Serial replay: fresh db, first ``upto`` batches, one query."""
+    db = TPDatabase()
+    for relation in scenario.relations.values():
+        db.register(relation)
+    for name in scenario.relations:
+        db.store(name)
+    for target, delta in scenario.deltas[:upto]:
+        db.apply(target, inserts=delta.inserts, deletes=delta.deletes)
+    return _canonical(db.query(query, optimize=level))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    level=st.sampled_from(["off", "safe"]),
+    open_after=st.lists(st.integers(0, 6), min_size=2, max_size=4),
+)
+def test_readers_stay_on_their_epoch_and_match_the_oracle(
+    seed, level, open_after
+):
+    scenario = build_scenario(_SPEC, scale=1.0, seed=seed)
+    queries = scenario.queries + ("r1 | r2",)
+    db = TPDatabase()
+    for relation in scenario.relations.values():
+        db.register(relation)
+    for name in scenario.relations:
+        db.store(name)
+    service = QueryService(db)
+    writer = service.open_session()
+
+    n_batches = len(scenario.deltas)
+    schedule = sorted(min(point, n_batches) for point in open_after)
+    readers: list[tuple[int, int]] = []  # (session id, batches applied at open)
+
+    applied = 0
+    pending = list(schedule)
+    while pending and pending[0] == 0:
+        pending.pop(0)
+        readers.append((service.open_session(), 0))
+    for target, delta in scenario.deltas:
+        service.commit(writer, target, inserts=delta.inserts, deletes=delta.deletes)
+        applied += 1
+        while pending and pending[0] == applied:
+            pending.pop(0)
+            readers.append((service.open_session(), applied))
+        # Mid-stream reads: every open reader answers from its own epoch.
+        for session_id, upto in readers:
+            response = service.execute(session_id, queries[0], optimize=level)
+            assert _canonical(response.relation) == _oracle(
+                scenario, upto, queries[0], level
+            ), f"reader pinned after batch {upto} diverged mid-stream"
+
+    # End-to-end: after the storm, each reader still answers from the
+    # epoch it opened at, for every query, bit-identically to the oracle.
+    for session_id, upto in readers:
+        for query in queries:
+            response = service.execute(session_id, query, optimize=level)
+            assert _canonical(response.relation) == _oracle(
+                scenario, upto, query, level
+            ), f"reader pinned after batch {upto} diverged on {query!r}"
+    # The writer reads its own writes: it matches the full replay.
+    for query in queries:
+        response = service.execute(writer, query, optimize=level)
+        assert _canonical(response.relation) == _oracle(
+            scenario, n_batches, query, level
+        )
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_cached_and_uncached_responses_are_bit_identical(seed):
+    scenario = build_scenario(_SPEC, scale=1.0, seed=seed)
+    db = TPDatabase()
+    for relation in scenario.relations.values():
+        db.register(relation)
+    for name in scenario.relations:
+        db.store(name)
+    service = QueryService(db)
+    session = service.open_session()
+    query = scenario.queries[0]
+    cold = service.execute(session, query, optimize="safe")
+    hot = service.execute(session, query, optimize="safe")
+    assert cold.cached is False and hot.cached is True
+    assert _canonical(hot.relation) == _canonical(cold.relation)
+    assert _canonical(hot.relation) == _oracle(scenario, 0, query, "safe")

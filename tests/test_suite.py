@@ -34,7 +34,7 @@ def record():
 
 def test_config_grids_start_with_the_reference():
     assert configs_for("query")[0] == Config()
-    for kind in ("query", "delta-storm", "session", "commit-stream"):
+    for kind in ("query", "delta-storm", "session", "commit-stream", "serving"):
         labels = [config.label for config in configs_for(kind)]
         assert len(labels) == len(set(labels))
     with pytest.raises(ValueError):
