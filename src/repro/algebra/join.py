@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.errors import SchemaMismatchError, UnsupportedOperationError
-from ..exec.config import active_config
+from ..exec.config import active_config, columnar_enabled
 from ..core.gtwindow import (
     LEFT,
     MatchWindow,
@@ -524,6 +524,14 @@ def join_group_rows(
     dirty regions through: returned rows ``(fact, λ, winTs, winTe)`` are
     exactly what :func:`tp_join_operation` emits before materialization.
     """
+    if columnar_enabled():
+        # End-point-column sweep (DESIGN.md §15); None = time points
+        # outside int64, stay on the tuple sweep below.
+        from ..exec.block_kernels import columnar_join_group_rows
+
+        rows = columnar_join_group_rows(layout, policy, group_l, group_s)
+        if rows is not None:
+            return rows
     matched_fact = layout.matched_fact
     left_fact = layout.left_fact
     right_fact = layout.right_fact

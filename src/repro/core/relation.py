@@ -51,7 +51,7 @@ class TPRelation:
 
     __slots__ = (
         "name", "schema", "_tuples", "events",
-        "_sorted_cache", "_merge_cache", "__weakref__",
+        "_sorted_cache", "_merge_cache", "_block_cache", "__weakref__",
     )
 
     def __init__(
@@ -73,6 +73,7 @@ class TPRelation:
             list(self._tuples) if assume_sorted else None
         )
         self._merge_cache: Optional[tuple] = None
+        self._block_cache: Optional[object] = None
         if validate:
             self._validate()
 
@@ -195,6 +196,19 @@ class TPRelation:
             self._sorted_cache = cache
         return cache
 
+    def columnar_block(self):
+        """The relation's tuples as a :class:`~repro.core.blocks
+        .ColumnarBlock` over the ``(F, Ts)`` order — computed once and
+        cached (relations are immutable), the column source of the
+        columnar sweep seams (DESIGN.md §15)."""
+        block = self._block_cache
+        if block is None:
+            from .blocks import ColumnarBlock
+
+            block = ColumnarBlock.from_tuples(self.sorted_tuples())
+            self._block_cache = block
+        return block
+
     def __getstate__(self) -> dict:
         # The merge cache holds a weakref (unpicklable) and both caches
         # are pure derived state — rebuild lazily after unpickling.
@@ -212,6 +226,7 @@ class TPRelation:
         self.events = EventMap(state["events"])
         self._sorted_cache = None
         self._merge_cache = None
+        self._block_cache = None
 
     def merged_events(self, other: "TPRelation") -> dict[str, float]:
         """The merged event map ``{**self.events, **other.events}``.

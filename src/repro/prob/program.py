@@ -1,0 +1,147 @@
+"""Compiled valuation programs: 1OF arithmetic as a flat opcode loop.
+
+The batch lineage codec (:mod:`repro.lineage.serialize`) flattens a set
+of formulas into one node table in dependency order — children strictly
+before parents, shared subformulas encoded once.  That table *is* a
+valuation program: replacing each node kind with an arithmetic opcode
+over an event-probability array turns the tree-recursive 1OF computation
+(:mod:`repro.prob.exact_1of`) into a single forward pass (DESIGN.md §15).
+
+Bit-identity argument
+---------------------
+:func:`ValuationProgram.evaluate` performs, per node, exactly the float
+operations ``_prob`` performs, in the same left-to-right child order:
+
+* ``VAR``   — one mapping load (``_prob`` inlines Var children; a load
+  is a load, the value is the identical float either way);
+* ``NOT``   — ``1.0 - value``;
+* ``AND``   — ``product = 1.0`` then ``product *= child`` in order;
+* ``OR``    — ``complement = 1.0`` then ``complement *= 1.0 - child``
+  in order, returning ``1.0 - complement``.
+
+The only structural difference is sharing: a subformula reachable from
+several roots is computed **once** here where the recursion recomputes
+it per root.  Both computations are deterministic over the same inputs,
+so the shared value is bit-for-bit the value each recomputation would
+produce — results are identical floats, proven by the differential
+harness (``tests/test_columnar_differential.py``).
+
+Missing variables raise the same
+:class:`~repro.core.errors.UnknownVariableError` the tree path raises
+(via :func:`~repro.prob.exact_1of._missing_variable`); with several
+variables missing, *which* one is reported may differ (table order vs
+per-formula recursion order).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Mapping, Sequence
+
+from ..lineage.formula import Lineage
+from ..lineage.serialize import encode_batch
+from .exact_1of import _missing_variable
+
+__all__ = ["ValuationProgram", "compile_program"]
+
+#: Opcodes of the flat program.
+OP_VAR, OP_NOT, OP_AND, OP_OR = 0, 1, 2, 3
+
+
+class ValuationProgram:
+    """A batch of 1OF formulas compiled to flat arithmetic instructions.
+
+    ``ops[i]`` is the opcode of node ``i``; its operands are
+    ``operands[first[i]:last[i]]`` — for ``VAR`` a single index into the
+    event-probability array, otherwise indexes of earlier nodes.  The
+    table is in dependency order by construction, so one forward loop
+    valuates every node; ``roots`` maps the compiled formulas to their
+    node indexes.
+    """
+
+    __slots__ = ("ops", "first", "last", "operands", "var_names", "roots")
+
+    ops: "array[int]"
+    first: "array[int]"
+    last: "array[int]"
+    operands: "array[int]"
+    var_names: list[str]
+    roots: list[int]
+
+    def __init__(self, formulas: Sequence[Lineage]) -> None:
+        nodes, roots = encode_batch(formulas)
+        n = len(nodes)
+        ops = array("b", bytes(n))
+        first = array("q", bytes(8 * n))
+        last = array("q", bytes(8 * n))
+        operands = array("q")
+        var_names: list[str] = []
+        var_index: dict[str, int] = {}
+        for i, node in enumerate(nodes):
+            tag = node[0]
+            first[i] = len(operands)
+            if tag == "v":
+                name = node[1]
+                vi = var_index.get(name)
+                if vi is None:
+                    vi = var_index[name] = len(var_names)
+                    var_names.append(name)
+                ops[i] = OP_VAR
+                operands.append(vi)
+            elif tag == "!":
+                ops[i] = OP_NOT
+                operands.append(node[1])
+            elif tag == "&":
+                ops[i] = OP_AND
+                operands.extend(node[1:])
+            else:
+                ops[i] = OP_OR
+                operands.extend(node[1:])
+            last[i] = len(operands)
+        self.ops = ops
+        self.first = first
+        self.last = last
+        self.operands = operands
+        self.var_names = var_names
+        self.roots = roots
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def evaluate(self, probabilities: Mapping[str, float]) -> list[float]:
+        """One forward pass; returns the root values in compile order."""
+        event_probs = [0.0] * len(self.var_names)
+        for vi, name in enumerate(self.var_names):
+            try:
+                event_probs[vi] = probabilities[name]
+            except KeyError as exc:
+                raise _missing_variable(name) from exc
+        ops = self.ops
+        first = self.first
+        last = self.last
+        operands = self.operands
+        values = [0.0] * len(ops)
+        for i in range(len(ops)):
+            op = ops[i]
+            a = first[i]
+            if op == OP_VAR:
+                values[i] = event_probs[operands[a]]
+            elif op == OP_NOT:
+                values[i] = 1.0 - values[operands[a]]
+            elif op == OP_AND:
+                product = 1.0
+                for j in range(a, last[i]):
+                    product *= values[operands[j]]
+                values[i] = product
+            else:
+                complement = 1.0
+                for j in range(a, last[i]):
+                    complement *= 1.0 - values[operands[j]]
+                values[i] = 1.0 - complement
+        return [values[r] for r in self.roots]
+
+
+def compile_program(formulas: Sequence[Lineage]) -> ValuationProgram:
+    """Compile formulas; raises ``TypeError`` on non-codec nodes
+    (``Top``/``Bottom``), which callers treat as "stay on the tree path"."""
+    return ValuationProgram(formulas)

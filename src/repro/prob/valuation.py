@@ -36,10 +36,20 @@ memoized on ``(formula identity, events epoch)``:
   Monte-Carlo estimates are never cached (they are random variables,
   not values).
 
-Entries live in per-epoch buckets (dead epochs are evicted wholesale),
-each bucket is bounded (``ProbabilityOptions.cache_max_entries``), and
-the cache can be switched off per call via
+Entries live in per-epoch buckets (dead epochs are evicted wholesale).
+Each live bucket is bounded (``ProbabilityOptions.cache_max_entries``)
+by **bounded eviction**: at the bound, the oldest entries are dropped in
+chunks, in insertion order — but never entries written by the batch in
+flight (including parallel-warmed ones), so a large batch can no longer
+wipe out its own working set mid-flight the way the previous wholesale
+``clear()`` did.  The cache can be switched off per call via
 ``ProbabilityOptions(cache=False)``.
+
+With the columnar knob on (``REPRO_COLUMNAR``, DESIGN.md §15),
+:func:`probability_batch` valuates each batch's distinct uncached 1OF
+formulas through a compiled flat opcode program
+(:mod:`repro.prob.program`) instead of per-formula tree recursion —
+bit-identical values, identical memo contents and hit/miss counters.
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ from enum import Enum
 from typing import Iterable, Mapping, Optional
 
 from ..exec.config import active_config as _active_parallel_config
+from ..exec.config import columnar_enabled as _columnar_enabled
 from ..lineage.formula import Lineage, Var
 from .bdd import probability_bdd
 from .exact_1of import _missing_variable, probability_1of
@@ -97,9 +108,12 @@ class ProbabilityOptions:
         epoch).  On by default; switch off for strictly-bounded-memory
         runs.
     cache_max_entries:
-        The memo is cleared wholesale when it would exceed this bound (a
-        simple, scan-free eviction policy — the workloads that benefit
-        from the memo refill it within one operation).
+        Per-epoch bucket bound.  When an insert would exceed it, the
+        oldest entries are evicted in chunks (dict insertion order) —
+        excluding entries the current batch itself wrote, which are
+        never evicted.  A bucket can therefore transiently exceed the
+        bound by at most one batch's distinct-formula count; it settles
+        back under it on the next non-batch insert.
     """
 
     __slots__ = ("exact_repeated_limit", "samples", "confidence", "rng",
@@ -251,6 +265,34 @@ def invalidate_events(events: Mapping[str, float]) -> None:
         _PLAIN_EPOCHS.pop(tuple(events.items()), None)
 
 
+#: Empty protected set for single-formula inserts.
+_NO_PROTECTED: frozenset = frozenset()
+
+
+def _evict_entries(bucket: dict, cap: int, protected) -> None:
+    """Bounded memo eviction: oldest unprotected entries, in chunks.
+
+    Called when an insert would push ``bucket`` past ``cap``.  Entries in
+    ``protected`` — everything the batch in flight has written, warmed or
+    serial — are never dropped, so a batch cannot evict values it still
+    needs (the bug this replaced: a wholesale ``bucket.clear()`` that
+    discarded the entire epoch's memo, parallel-warmed entries included,
+    on every insert past the cap).  Eviction proceeds in dict insertion
+    order (oldest first) in chunks of ``cap // 8`` to amortize the scan;
+    when every entry is protected the bucket transiently exceeds the cap
+    by at most the batch's distinct-formula count.
+    """
+    overshoot = len(bucket) - cap + 1
+    if overshoot <= 0:
+        return
+    chunk = max(overshoot, cap >> 3, 1)
+    victims = list(
+        itertools.islice((key for key in bucket if key not in protected), chunk)
+    )
+    for key in victims:
+        del bucket[key]
+
+
 def _memo_bucket(epoch: int) -> dict[Lineage, float]:
     bucket = _VALUATION_MEMO.get(epoch)
     if bucket is None:
@@ -324,9 +366,10 @@ def _parallel_warm(
     if values is None:
         return set()
     cap = opts.cache_max_entries
+    protected = set(pending)
     for formula, value in zip(pending, values):
         if len(bucket) >= cap:
-            bucket.clear()
+            _evict_entries(bucket, cap, protected)
         bucket[formula] = value
     return set(pending)
 
@@ -424,7 +467,7 @@ def probability(
     value, deterministic = _compute(formula, probabilities, method, opts)
     if deterministic:
         if len(bucket) >= opts.cache_max_entries:
-            bucket.clear()
+            _evict_entries(bucket, opts.cache_max_entries, _NO_PROTECTED)
         bucket[formula] = value
     return value
 
@@ -482,9 +525,21 @@ def probability_batch(
         # been serially).
         lineages = lineages if isinstance(lineages, list) else list(lineages)
         warmed = _parallel_warm(lineages, bucket, probabilities, opts, parallel)
+    programmed: dict[Lineage, float] = {}
+    if _columnar_enabled():
+        # Compiled valuation (DESIGN.md §15): valuate the batch's
+        # distinct uncached 1OF formulas in one flat opcode pass; the
+        # loop below consumes the values exactly where it would have
+        # called the tree recursion, so memo contents and counters are
+        # unchanged.
+        lineages = lineages if isinstance(lineages, list) else list(lineages)
+        programmed = _program_values(lineages, bucket, probabilities)
     bucket_get = bucket.get
     limit = opts.cache_max_entries
     misses = hits = 0
+    # Everything this batch writes (warmed or serial) is protected from
+    # eviction until the batch completes.
+    protected: set[Lineage] = set(warmed)
     for formula in lineages:
         value = bucket_get(formula, _MISS)
         if value is not _MISS and warmed and formula in warmed:
@@ -494,9 +549,10 @@ def probability_batch(
             continue
         if value is _MISS:
             if warmed:
-                # A warmed entry evicted by a mid-batch bucket clear:
-                # consume its marker here so later occurrences count as
-                # the hits they would have been serially.
+                # Defensive marker consumption (warmed entries are
+                # eviction-protected, so this should not trigger): keep
+                # later occurrences counting as the hits they would have
+                # been serially.
                 warmed.discard(formula)
             misses += 1
             # Inlined AUTO fast paths — atomic lineages and 1OF formulas
@@ -509,17 +565,53 @@ def probability_batch(
                     raise _missing_variable(formula.name) from exc
                 deterministic = True
             elif formula.is_1of:
-                value = _prob_1of(formula, probabilities)
+                if programmed:
+                    value = programmed.pop(formula, _MISS)
+                    if value is _MISS:
+                        value = _prob_1of(formula, probabilities)
+                else:
+                    value = _prob_1of(formula, probabilities)
                 deterministic = True
             else:
                 value, deterministic = _compute_auto(formula, probabilities, opts)
             if deterministic:
                 if len(bucket) >= limit:
-                    bucket.clear()
+                    _evict_entries(bucket, limit, protected)
                 bucket[formula] = value
+                protected.add(formula)
         else:
             hits += 1
         append(value)
     _MEMO_HITS += hits
     _MEMO_MISSES += misses
     return out
+
+
+def _program_values(
+    formulas: list,
+    bucket: dict,
+    probabilities: Mapping[str, float],
+) -> dict[Lineage, float]:
+    """Compile and run the batch's distinct uncached 1OF formulas.
+
+    Returns ``{}`` (stay on tree recursion) when the batch has no such
+    formulas or contains non-codec nodes (``Top``/``Bottom``).
+    """
+    bucket_get = bucket.get
+    distinct: list[Lineage] = []
+    seen: set[Lineage] = set()
+    for formula in formulas:
+        if type(formula) is Var or formula in seen:
+            continue
+        seen.add(formula)
+        if formula.is_1of and bucket_get(formula, _MISS) is _MISS:
+            distinct.append(formula)
+    if not distinct:
+        return {}
+    from .program import ValuationProgram
+
+    try:
+        program = ValuationProgram(distinct)
+    except TypeError:
+        return {}
+    return dict(zip(distinct, program.evaluate(probabilities)))

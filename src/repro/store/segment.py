@@ -123,13 +123,14 @@ class _FactGroup:
     index bisected to locate the segment owning a time point.
     """
 
-    __slots__ = ("segments", "bounds", "capacity", "_flat")
+    __slots__ = ("segments", "bounds", "capacity", "_flat", "_block")
 
     def __init__(self, capacity: int) -> None:
         self.segments: list[list[TPTuple]] = []
         self.bounds: list[int] = []
         self.capacity = capacity
         self._flat: Optional[list[TPTuple]] = None
+        self._block: Optional[object] = None
 
     # -- reads ---------------------------------------------------------
     def tuples(self) -> list[TPTuple]:
@@ -141,6 +142,22 @@ class _FactGroup:
                 flat = [t for segment in self.segments for t in segment]
             self._flat = flat
         return flat
+
+    def block(self) -> object:
+        """The group's tuples as a :class:`~repro.core.blocks.ColumnarBlock`.
+
+        Cached alongside the flat view and invalidated by the same
+        mutations, so a read-mostly columnar workload packs each fact
+        group once per write.  Raises ``OverflowError`` when an interval
+        endpoint falls outside int64 (callers fall back to tuples).
+        """
+        block = self._block
+        if block is None:
+            from ..core.blocks import ColumnarBlock
+
+            block = ColumnarBlock.from_tuples(self.tuples())
+            self._block = block
+        return block
 
     def __len__(self) -> int:
         return sum(len(segment) for segment in self.segments)
@@ -179,6 +196,7 @@ class _FactGroup:
     # -- writes --------------------------------------------------------
     def insert(self, t: TPTuple) -> None:
         self._flat = None
+        self._block = None
         if not self.segments:
             self.segments.append([t])
             self.bounds.append(t.start)
@@ -194,6 +212,7 @@ class _FactGroup:
 
     def remove(self, t: TPTuple) -> None:
         self._flat = None
+        self._block = None
         si = self._locate(t.start)
         segment = self.segments[si]
         i = bisect_left([u.start for u in segment], t.start)
@@ -558,6 +577,23 @@ class SegmentStore:
         group = self._groups.get(fact)
         return group.tuples() if group is not None else []
 
+    def block_of(self, fact: Fact) -> Optional[object]:
+        """The fact's tuples as a packed columnar block (DESIGN.md §15).
+
+        Cached per fact group and invalidated by any mutation touching
+        the group, exactly like :meth:`tuples_of`'s flat list.  Returns
+        ``None`` when the fact is not stored or when an interval
+        endpoint falls outside the block's int64 time domain — callers
+        treat ``None`` as "use the tuple path".
+        """
+        group = self._groups.get(fact)
+        if group is None:
+            return None
+        try:
+            return group.block()
+        except OverflowError:
+            return None
+
     def iter_sorted(self) -> Iterator[TPTuple]:
         """All tuples in ``(F, Ts)`` order, lazily, segment by segment.
 
@@ -591,9 +627,11 @@ class SegmentStore:
         epoch is a dictionary hit and the writer never copies anything.
         An unretained historical epoch is reconstructed by
         reverse-replaying the change log (inserts removed, deletes
-        re-added, event probabilities recovered from the deleted base
-        tuples); :class:`SnapshotUnavailableError` is raised when the
-        epoch lies in the future or the log no longer reaches back.
+        re-added, dropped event probabilities recovered from anywhere in
+        the retained log — mint records or deleted base tuples);
+        :class:`SnapshotUnavailableError` is raised when the epoch lies
+        in the future, the log no longer reaches back, or a dropped
+        event was seeded outside the log (see :meth:`_reconstruct`).
         """
         if epoch is None or epoch == self.epoch:
             cached = self._snapshot
@@ -622,6 +660,25 @@ class SegmentStore:
         self._retained[epoch] = relation
         return relation
 
+    def _event_probability_index(self) -> dict[str, float]:
+        """Every event probability recoverable from the retained log.
+
+        Event identifiers are never reused and a probability never
+        changes after mint, so *any* record of an event in the log is
+        authoritative: the ``events`` dict of the change set that minted
+        it, or the ``p`` of any deleted base tuple whose lineage is that
+        single variable.  Built on demand by :meth:`_reconstruct` — one
+        linear scan of the log instead of a per-event search.
+        """
+        index: dict[str, float] = {}
+        for cs in self._log:
+            index.update(cs.events)
+            for t in cs.deleted:
+                lineage = t.lineage
+                if isinstance(lineage, Var):
+                    index.setdefault(lineage.name, t.p)
+        return index
+
     def _reconstruct(self, epoch: int) -> TPRelation:
         """Rebuild the relation at a past ``epoch`` from the change log.
 
@@ -629,10 +686,19 @@ class SegmentStore:
         undoing each: inserted tuples are dropped, deleted tuples are
         restored (the very objects the log holds, so the rebuilt state
         is bit-identical to the original), minted events are removed and
-        dropped events recovered — a dropped event's probability is the
-        ``p`` of the deleted base tuple whose lineage is that single
-        variable (events are only dropped when their last referencing
-        tuple is deleted).
+        dropped events recovered from the log-wide probability index
+        (:meth:`_event_probability_index`).  An event may be dropped by
+        a change set that deletes only *derived*-lineage tuples — the
+        last reference to a variable need not be the base tuple that
+        minted it — so recovery must consult the whole retained log, not
+        just the dropping change set.
+
+        :class:`SnapshotUnavailableError` is raised exactly when a
+        dropped event's probability appears nowhere in the retained
+        log: the event was seeded outside it (:meth:`from_relation` /
+        :meth:`restore`) and no logged change set deleted its base
+        tuple.  Such epochs are unrecoverable by construction — the
+        probability existed only in the seeded event map.
         """
         try:
             changesets = self.changes_since(epoch)
@@ -642,6 +708,7 @@ class SegmentStore:
             ) from exc
         tuples = {(t.fact, t.start, t.end): t for t in self.iter_sorted()}
         events = dict(self.events)
+        recovery: Optional[dict[str, float]] = None
         for cs in reversed(changesets):
             for t in cs.inserted:
                 tuples.pop((t.fact, t.start, t.end), None)
@@ -650,17 +717,15 @@ class SegmentStore:
             for name in cs.events:
                 events.pop(name, None)
             for name in cs.removed_events:
-                recovered = None
-                for t in cs.deleted:
-                    lineage = t.lineage
-                    if isinstance(lineage, Var) and lineage.name == name:
-                        recovered = t.p
-                        break
+                if recovery is None:
+                    recovery = self._event_probability_index()
+                recovered = recovery.get(name)
                 if recovered is None:
                     raise SnapshotUnavailableError(
                         f"store {self.name!r} cannot reconstruct epoch "
-                        f"{epoch}: dropped event {name!r} has no "
-                        f"recoverable probability in the change log"
+                        f"{epoch}: dropped event {name!r} was seeded "
+                        f"outside the change log and has no recoverable "
+                        f"probability in it"
                     )
                 events[name] = recovered
         ordered = sorted(

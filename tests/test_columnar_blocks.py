@@ -1,0 +1,179 @@
+"""Columnar block layer: packing, wire round-trips, degenerate shapes.
+
+Satellite coverage for DESIGN.md §15: the block encode/sweep/decode
+cycle must be bit-identical to the tuple path on the degenerate inputs
+where off-by-one column handling would first show — empty relations,
+single-tuple groups, all-identical intervals, and the ``None``-padded
+facts outer joins emit.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.algebra.join import tp_join_operation
+from repro.core.blocks import ColumnarBlock, unify_fact_codes
+from repro.core.interval import Interval
+from repro.core.relation import TPRelation
+from repro.core.schema import TPSchema, make_fact
+from repro.core.setops import tp_set_operation
+from repro.core.tuple import base_tuple
+from repro.exec.config import columnar_execution
+from repro.store import SegmentStore
+
+
+def rel(name: str, rows, attributes=("fact",)) -> TPRelation:
+    """``rows`` are (fact_values..., ts, te, p) over ``attributes``."""
+    return TPRelation.from_rows(name, attributes, rows)
+
+
+def assert_block_roundtrip(relation: TPRelation) -> None:
+    """from_tuples → tuples() and encode() → decode() both reproduce
+    the input exactly, including lineage object identity."""
+    tuples = relation.sorted_tuples()
+    block = ColumnarBlock.from_tuples(tuples)
+    rebuilt = block.tuples()
+    assert len(rebuilt) == len(tuples)
+    for original, copy in zip(tuples, rebuilt):
+        assert copy.fact == original.fact
+        assert copy.interval == original.interval
+        assert copy.lineage is original.lineage
+        assert copy.p == original.p
+    wired = ColumnarBlock.decode(pickle.loads(pickle.dumps(block.encode())))
+    for original, copy in zip(tuples, wired.tuples()):
+        assert copy.fact == original.fact
+        assert copy.interval == original.interval
+        assert copy.lineage is original.lineage
+        assert copy.p == original.p
+
+
+def assert_same_result(columnar: TPRelation, tuple_path: TPRelation) -> None:
+    assert len(columnar) == len(tuple_path)
+    for c, t in zip(columnar, tuple_path):
+        assert c.fact == t.fact
+        assert c.interval == t.interval
+        assert c.lineage is t.lineage
+        assert c.p == t.p
+
+
+class TestDegenerateShapes:
+    def test_empty_relation(self):
+        empty = rel("r", [])
+        assert_block_roundtrip(empty)
+        block = ColumnarBlock.from_tuples(empty.sorted_tuples())
+        assert len(block.starts) == 0 and block.facts == []
+
+    @pytest.mark.parametrize("op", ("union", "intersect", "except"))
+    def test_empty_operands_sweep(self, op):
+        empty = rel("r", [])
+        other = rel("s", [("x", 0, 5, 0.5), ("y", 2, 9, 0.25)])
+        for left, right in ((empty, other), (other, empty), (empty, empty)):
+            reference = tp_set_operation(op, left, right)
+            with columnar_execution(True):
+                result = tp_set_operation(op, left, right)
+            assert_same_result(result, reference)
+
+    def test_single_tuple_groups(self):
+        r = rel("r", [("x", 0, 7, 0.5), ("y", 3, 4, 0.9)])
+        s = rel("s", [("x", 2, 5, 0.4)])
+        assert_block_roundtrip(r)
+        assert_block_roundtrip(s)
+        for op in ("union", "intersect", "except"):
+            reference = tp_set_operation(op, r, s)
+            with columnar_execution(True):
+                result = tp_set_operation(op, r, s)
+            assert_same_result(result, reference)
+
+    def test_all_identical_intervals(self):
+        """Same interval on every fact: every sweep event ties on time."""
+        r = rel("r", [("x", 3, 8, 0.5), ("y", 3, 8, 0.25), ("z", 3, 8, 0.75)])
+        s = rel("s", [("x", 3, 8, 0.4), ("z", 3, 8, 0.6)])
+        assert_block_roundtrip(r)
+        for op in ("union", "intersect", "except"):
+            reference = tp_set_operation(op, r, s)
+            with columnar_execution(True):
+                result = tp_set_operation(op, r, s)
+            assert_same_result(result, reference)
+
+    def test_null_padded_outer_join_output_roundtrips(self):
+        """Outer joins pad facts with ``None`` — the null-safe fact order
+        must survive block packing and the wire form."""
+        r = rel("r", [("k1", "a1", 0, 6, 0.5), ("k2", "a2", 1, 4, 0.3)], ("k", "a"))
+        s = rel("s", [("k1", "b1", 2, 9, 0.7)], ("k", "b"))
+        padded = tp_join_operation("full_outer", r, s, ("k",))
+        assert any(None in t.fact for t in padded)
+        assert_block_roundtrip(padded)
+        with columnar_execution(True):
+            columnar = tp_join_operation("full_outer", r, s, ("k",))
+        assert_same_result(columnar, padded)
+
+    def test_int64_overflow_falls_back(self):
+        huge = TPRelation(
+            "r",
+            TPSchema(("fact",)),
+            [base_tuple(("x",), "r1", Interval(0, 2**70), 0.5)],
+            {"r1": 0.5},
+            validate=False,
+        )
+        other = rel("s", [("x", 1, 5, 0.4)])
+        with pytest.raises(OverflowError):
+            ColumnarBlock.from_tuples(huge.sorted_tuples())
+        reference = tp_set_operation("union", huge, other)
+        with columnar_execution(True):
+            result = tp_set_operation("union", huge, other)
+        assert_same_result(result, reference)
+
+
+class TestFactCodeUnification:
+    def test_joint_codes_preserve_order_and_equality(self):
+        left = ColumnarBlock.from_tuples(
+            rel("r", [("a", 0, 1, 0.5), ("c", 0, 1, 0.5)]).sorted_tuples()
+        )
+        right = ColumnarBlock.from_tuples(
+            rel("s", [("b", 0, 1, 0.5), ("c", 0, 1, 0.5)]).sorted_tuples()
+        )
+        map_l, map_r = unify_fact_codes(left.facts, right.facts)
+        coded = sorted(
+            [(map_l[i], f) for i, f in enumerate(left.facts)]
+            + [(map_r[i], f) for i, f in enumerate(right.facts)]
+        )
+        # Equal facts share a code; distinct facts get codes in fact order.
+        facts_by_code: dict[int, object] = {}
+        for code, fact in coded:
+            assert facts_by_code.setdefault(code, fact) == fact
+        ordered = [facts_by_code[c] for c in sorted(facts_by_code)]
+        assert ordered == sorted(ordered)
+
+    def test_disjoint_and_empty_sides(self):
+        block = ColumnarBlock.from_tuples(
+            rel("r", [("a", 0, 1, 0.5)]).sorted_tuples()
+        )
+        empty = ColumnarBlock.from_tuples([])
+        map_l, map_r = unify_fact_codes(block.facts, empty.facts)
+        assert list(map_l) == [0] and list(map_r) == []
+
+
+class TestStoreBlocks:
+    def test_block_of_caches_until_mutation(self):
+        store = SegmentStore("s", ("k",))
+        store.insert([("a", 0, 10, 0.5)])
+        fact = make_fact(("a",))
+        block = store.block_of(fact)
+        assert block is not None
+        assert store.block_of(fact) is block
+        store.insert([("a", 20, 30, 0.9)])
+        fresh = store.block_of(fact)
+        assert fresh is not block
+        assert list(fresh.starts) == [0, 20]
+
+    def test_block_of_unknown_fact(self):
+        store = SegmentStore("s", ("k",))
+        assert store.block_of(make_fact(("missing",))) is None
+
+    def test_relation_block_cache(self):
+        r = rel("r", [("x", 0, 5, 0.5)])
+        block = r.columnar_block()
+        assert r.columnar_block() is block
+        assert block.tuples()[0].lineage is r.sorted_tuples()[0].lineage

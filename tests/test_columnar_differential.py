@@ -1,0 +1,342 @@
+"""Differential suite: columnar execution ≡ tuple path, bit for bit.
+
+The columnar engine (DESIGN.md §15) sweeps packed integer columns and
+valuates lineage through compiled opcode programs; its contract is the
+same as the parallel engine's (PR 4): for every operator — the three set
+operations, all five generalized joins, incremental view refresh — and
+at worker counts {1, 2}, flipping ``REPRO_COLUMNAR`` must not change a
+single bit of the result: same tuples in the same order, same intervals,
+float-exact probabilities, **identical interned lineage objects**
+(``is``, not ``==``), and the same valuation-memo hit/miss counters.
+
+The memo-eviction regression tests pin satellite 1: a bucket at
+``cache_max_entries`` evicts a bounded oldest-first chunk instead of
+clearing wholesale, never drops entries the current batch warmed, and
+keeps the hit/miss counters serial-exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.join import JOIN_KINDS, tp_join_operation
+from repro.core.setops import OPERATIONS, tp_set_operation
+from repro.datasets import generate_join_pair, generate_pair
+from repro.exec.config import ParallelConfig, columnar_execution, parallel_execution
+from repro.exec.pool import shutdown_pools
+from repro.lineage.formula import Var, land, lor
+from repro.prob.valuation import (
+    EventMap,
+    ProbabilityOptions,
+    clear_valuation_cache,
+    probability_batch,
+    valuation_cache_stats,
+)
+from repro.query.parser import parse_query
+from repro.store import MaterializedView, SegmentStore
+
+from .strategies import tp_join_pair, tp_relation_pair
+
+SET_OPS = tuple(OPERATIONS)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+def teardown_module(module) -> None:
+    shutdown_pools()
+
+
+def force_parallel(workers: int) -> ParallelConfig:
+    return ParallelConfig(workers=workers, min_tuples=0, min_formulas=0)
+
+
+def assert_bit_identical(columnar, reference) -> None:
+    """Same tuples, same order, same interned lineage, same floats."""
+    assert columnar.schema.attributes == reference.schema.attributes
+    assert len(columnar) == len(reference)
+    for c, t in zip(columnar, reference):
+        assert c.fact == t.fact
+        assert c.interval == t.interval
+        assert c.lineage is t.lineage, (
+            f"lineage not identity-equal: {c.lineage} vs {t.lineage}"
+        )
+        assert c.p == t.p  # float-exact, not approximate
+    assert dict(columnar.events) == dict(reference.events)
+
+
+# ----------------------------------------------------------------------
+# set operations
+# ----------------------------------------------------------------------
+class TestSetOperationsDifferential:
+    @pytest.mark.parametrize("op", SET_OPS)
+    @settings(max_examples=25, deadline=None)
+    @given(pair=tp_relation_pair())
+    def test_random_pairs(self, op, pair):
+        r, s = pair
+        reference = tp_set_operation(op, r, s)
+        with columnar_execution(True):
+            columnar = tp_set_operation(op, r, s)
+        assert_bit_identical(columnar, reference)
+
+    @pytest.mark.parametrize("op", SET_OPS)
+    def test_fig8_scale_multi_fact(self, op):
+        r, s = generate_pair(3000, n_facts=7, seed=11)
+        reference = tp_set_operation(op, r, s)
+        with columnar_execution(True):
+            columnar = tp_set_operation(op, r, s)
+        assert_bit_identical(columnar, reference)
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    @pytest.mark.parametrize("op", SET_OPS)
+    def test_columnar_with_worker_pool(self, op, workers):
+        """Columnar on top of the pool: chunked sweeps run in workers
+        (which force the tuple path), residual sweeps and valuation run
+        columnar — the combination must still be bit-identical."""
+        r, s = generate_pair(1200, n_facts=5, seed=3)
+        reference = tp_set_operation(op, r, s)
+        with parallel_execution(force_parallel(workers)), columnar_execution(True):
+            columnar = tp_set_operation(op, r, s)
+        assert_bit_identical(columnar, reference)
+
+    def test_cache_stats_identical(self):
+        """The memo's observable counters must not move under columnar."""
+        r, s = generate_pair(600, n_facts=3, seed=7)
+
+        def run():
+            clear_valuation_cache()
+            result = tp_set_operation("union", r, s)
+            return result, valuation_cache_stats()
+
+        reference, ref_stats = run()
+        with columnar_execution(True):
+            columnar, col_stats = run()
+        assert_bit_identical(columnar, reference)
+        assert col_stats == ref_stats
+
+
+# ----------------------------------------------------------------------
+# generalized joins
+# ----------------------------------------------------------------------
+class TestJoinsDifferential:
+    @pytest.mark.parametrize("kind", JOIN_KINDS)
+    @settings(max_examples=20, deadline=None)
+    @given(pair=tp_join_pair())
+    def test_random_pairs(self, kind, pair):
+        r, s = pair
+        reference = tp_join_operation(kind, r, s, ("k",))
+        with columnar_execution(True):
+            columnar = tp_join_operation(kind, r, s, ("k",))
+        assert_bit_identical(columnar, reference)
+
+    @pytest.mark.parametrize("kind", JOIN_KINDS)
+    def test_join_workload_scale(self, kind):
+        r, s = generate_join_pair(2000, n_keys=9, seed=2)
+        reference = tp_join_operation(kind, r, s, ("key",))
+        with columnar_execution(True):
+            columnar = tp_join_operation(kind, r, s, ("key",))
+        assert_bit_identical(columnar, reference)
+
+    @pytest.mark.parametrize("kind", ("left_outer", "full_outer", "anti"))
+    @settings(max_examples=15, deadline=None)
+    @given(pair=tp_join_pair(s_rest=False))
+    def test_degenerate_layouts(self, kind, pair):
+        """Key-only right side: matched and preserved facts coincide."""
+        r, s = pair
+        reference = tp_join_operation(kind, r, s, ("k",))
+        with columnar_execution(True):
+            columnar = tp_join_operation(kind, r, s, ("k",))
+        assert_bit_identical(columnar, reference)
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    @pytest.mark.parametrize("kind", JOIN_KINDS)
+    def test_columnar_with_worker_pool(self, kind, workers):
+        r, s = generate_join_pair(1000, n_keys=5, seed=4)
+        reference = tp_join_operation(kind, r, s, ("key",))
+        with parallel_execution(force_parallel(workers)), columnar_execution(True):
+            columnar = tp_join_operation(kind, r, s, ("key",))
+        assert_bit_identical(columnar, reference)
+
+
+# ----------------------------------------------------------------------
+# incremental view refresh
+# ----------------------------------------------------------------------
+def _mutate(store: SegmentStore, seed: int) -> None:
+    tuples = list(store.iter_sorted())
+    victims = tuples[seed % max(1, len(tuples)) :: 3][:20]
+    deletes = [(*t.fact, t.start, t.end) for t in victims]
+    inserts = [
+        (*t.fact, t.start, max(t.start + 1, t.end - 1), 0.37) for t in victims
+    ]
+    store.apply(inserts=inserts, deletes=deletes)
+
+
+class TestIncrementalRefreshDifferential:
+    @pytest.mark.parametrize(
+        "query,maker",
+        [
+            ("r - (r & s)", lambda: generate_pair(800, n_facts=4, seed=9)),
+            ("r | s", lambda: generate_pair(800, seed=13)),
+            (
+                "r LEFT OUTER JOIN s ON key",
+                lambda: generate_join_pair(800, n_keys=5, seed=9),
+            ),
+            (
+                "r ANTI JOIN s ON key",
+                lambda: generate_join_pair(800, n_keys=5, seed=21),
+            ),
+        ],
+    )
+    def test_refresh_matches_tuple_path(self, query, maker):
+        r0, s0 = maker()
+        ast = parse_query(query)
+
+        reference_stores = {
+            "r": SegmentStore.from_relation(r0),
+            "s": SegmentStore.from_relation(s0),
+        }
+        reference_view = MaterializedView("v", ast, reference_stores, policy="manual")
+
+        columnar_stores = {
+            "r": SegmentStore.from_relation(r0),
+            "s": SegmentStore.from_relation(s0),
+        }
+        columnar_view = MaterializedView("v", ast, columnar_stores, policy="manual")
+
+        for round_no in range(3):
+            _mutate(reference_stores["r"], seed=round_no)
+            _mutate(columnar_stores["r"], seed=round_no)
+            reference_view.refresh()
+            with columnar_execution(True):
+                columnar_view.refresh()
+            assert_bit_identical(columnar_view.relation(), reference_view.relation())
+
+
+# ----------------------------------------------------------------------
+# whole-database queries through the constructor knob
+# ----------------------------------------------------------------------
+class TestDatabaseKnob:
+    QUERIES = (
+        ("r - (r & s)", lambda: generate_pair(400, n_facts=4, seed=9)),
+        (
+            "r FULL OUTER JOIN s ON key",
+            lambda: generate_join_pair(400, n_keys=5, seed=9),
+        ),
+    )
+
+    @pytest.mark.parametrize("level", ("off", "safe"))
+    @pytest.mark.parametrize("query,maker", QUERIES)
+    def test_query_results_bit_identical(self, query, maker, level):
+        from repro.db import TPDatabase
+
+        r, s = maker()
+
+        def build(columnar):
+            db = TPDatabase(columnar=columnar)
+            db.register(r.rename("r"))
+            db.register(s.rename("s"))
+            return db
+
+        reference = build(False).query(query, optimize=level)
+        columnar = build(True).query(query, optimize=level)
+        assert_bit_identical(columnar, reference)
+
+    def test_constructor_overrides_ambient(self):
+        from repro.db import TPDatabase
+
+        r, s = generate_pair(200, n_facts=2, seed=1)
+        db = TPDatabase(columnar=False)
+        db.register(r.rename("r"))
+        db.register(s.rename("s"))
+        reference = db.query("r | s")
+        with columnar_execution(True):
+            pinned = db.query("r | s")  # db says False, ambient says True
+        assert_bit_identical(pinned, reference)
+
+
+# ----------------------------------------------------------------------
+# compiled valuation programs + bounded memo eviction (satellite 1)
+# ----------------------------------------------------------------------
+def _formula_corpus(n: int, events: EventMap) -> list:
+    """``n`` distinct 1OF formulas over fresh variables, each repeated
+    twice in the returned batch (first occurrence = miss, second = hit)."""
+    batch = []
+    for i in range(n):
+        x, y, z = Var(f"cx{i}"), Var(f"cy{i}"), Var(f"cz{i}")
+        events.update({f"cx{i}": 0.3, f"cy{i}": 0.6, f"cz{i}": 0.9})
+        batch.append(lor(land(x, ~y), z))
+    return batch + list(batch)
+
+
+class TestCompiledValuation:
+    def test_program_matches_tree_recursion(self):
+        events = EventMap()
+        batch = _formula_corpus(40, events)
+        clear_valuation_cache()
+        reference = probability_batch(batch, events)
+        ref_stats = valuation_cache_stats()
+        clear_valuation_cache()
+        with columnar_execution(True):
+            compiled = probability_batch(batch, events)
+            col_stats = valuation_cache_stats()
+        assert compiled == reference  # float-exact
+        assert col_stats == ref_stats
+
+    @pytest.mark.parametrize("columnar", (False, True))
+    def test_bounded_eviction_keeps_counters_serial_exact(self, columnar):
+        """A tiny cache cap must not change hits/misses: the old
+        wholesale ``bucket.clear()`` dropped same-batch entries and
+        turned would-be hits into recomputed misses."""
+        events = EventMap()
+        batch = _formula_corpus(100, events)  # 200 formulas, 100 distinct
+        options = ProbabilityOptions(cache_max_entries=10)
+
+        clear_valuation_cache()
+        with columnar_execution(columnar):
+            capped = probability_batch(batch, events, options=options)
+            capped_stats = valuation_cache_stats()
+        clear_valuation_cache()
+        with columnar_execution(columnar):
+            uncapped = probability_batch(batch, events)
+            uncapped_stats = valuation_cache_stats()
+
+        assert capped == uncapped
+        assert capped_stats["hits"] == uncapped_stats["hits"] == 100
+        assert capped_stats["misses"] == uncapped_stats["misses"] == 100
+
+    def test_eviction_is_bounded_not_wholesale(self):
+        """Across batches the bucket stays near the cap: old entries go,
+        the newest survive — never a full clear."""
+        events = EventMap()
+        options = ProbabilityOptions(cache_max_entries=8)
+        clear_valuation_cache()
+        for i in range(6):
+            x = Var(f"ev{i}")
+            events[f"ev{i}"] = 0.5
+            probability_batch([land(x, x)], events)
+        # Mutating events bumps the epoch; valuate a long batch in one
+        # epoch so the cap engages mid-run.
+        batch = _formula_corpus(30, events)
+        probability_batch(batch, events, options=options)
+        stats = valuation_cache_stats()
+        # Everything the batch computed is protected while it runs, so
+        # the bucket may exceed the cap by the batch's distinct count —
+        # but never by the wholesale-clear signature of entries == the
+        # final sub-batch only.
+        assert stats["entries"] >= 30
+
+    def test_next_insert_after_batch_trims_to_cap(self):
+        events = EventMap()
+        options = ProbabilityOptions(cache_max_entries=8)
+        clear_valuation_cache()
+        batch = _formula_corpus(30, events)
+        probability_batch(batch, events, options=options)
+        x = Var("post")
+        events["post"] = 0.5
+        # New epoch, fresh bucket: the overshoot bucket above is simply
+        # retired with its epoch; the new bucket respects the cap.
+        probability_batch([land(x, ~x)], events, options=options)
+        stats = valuation_cache_stats()
+        assert stats["memo_epochs"] >= 2

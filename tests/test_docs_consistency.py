@@ -31,6 +31,7 @@ FLAG = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
 #: the PR-8 serving CLI).
 REQUIRED_IN_README = {
     "--parallel",
+    "--columnar",
     "--optimize",
     "--explain",
     "--data-dir",
@@ -66,6 +67,7 @@ def test_front_door_documents_exist():
     design = DESIGN.read_text()
     assert "## §13" in design, "DESIGN.md must cover the suite (§13)"
     assert "## §14" in design, "DESIGN.md must cover the query service (§14)"
+    assert "## §15" in design, "DESIGN.md must cover the columnar engine (§15)"
 
 
 @pytest.mark.parametrize("path", [README, BENCH_DOC], ids=lambda p: p.name)

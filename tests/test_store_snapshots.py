@@ -13,9 +13,15 @@ from __future__ import annotations
 import gc
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.errors import SnapshotUnavailableError
+from repro.core.interval import Interval
 from repro.core.relation import TPRelation
+from repro.core.schema import TPSchema
+from repro.core.tuple import TPTuple
+from repro.lineage.formula import Var, land
 from repro.store import SegmentStore
 
 
@@ -97,3 +103,101 @@ def test_snapshot_isolation_under_mutation():
     store.apply(inserts=[("beer", 3, 8, 0.5)], deletes=[("milk", 2, 10)])
     assert _canonical(before) == rows_before, "pinned snapshot mutated"
     assert _canonical(store.snapshot()) != rows_before
+
+
+# ----------------------------------------------------------------------
+# dropped-event recovery across change sets
+# ----------------------------------------------------------------------
+def _derived_store() -> SegmentStore:
+    """Two base tuples plus a derived tuple referencing both variables."""
+    store = SegmentStore("s", ("k",))
+    store.insert([("a", 0, 10, 0.5)])   # mints s_n1
+    store.insert([("b", 0, 10, 0.25)])  # mints s_n2
+    snap = store.snapshot()
+    derived = TPTuple(
+        ("c",), land(Var("s_n1"), Var("s_n2")), Interval(0, 10), 0.125
+    )
+    seeded = TPRelation(
+        "s",
+        TPSchema(("k",)),
+        list(snap.sorted_tuples()) + [derived],
+        dict(snap.events),
+        validate=False,
+    )
+    return SegmentStore.from_relation(seeded)
+
+
+def test_recovery_when_drop_deletes_only_derived_tuples():
+    """An event dropped by deleting a *derived*-lineage tuple must be
+    recovered from elsewhere in the log (the regression the per-change-set
+    scan missed: the dropping transaction holds no base tuple for it)."""
+    store = _derived_store()
+    generations = {store.epoch: _canonical(store.snapshot())}
+    store.delete([("a", 0, 10)])  # base tuple of s_n1 leaves; s_n1 lives on
+    generations[store.epoch] = _canonical(store.snapshot())
+    store.delete([("b", 0, 10)])  # base tuple of s_n2 leaves; s_n2 lives on
+    generations[store.epoch] = _canonical(store.snapshot())
+    changeset = store.delete([("c", 0, 10)])  # last references vanish
+    assert sorted(changeset.removed_events) == ["s_n1", "s_n2"]
+    gc.collect()
+    for epoch, expected in generations.items():
+        relation = store.snapshot(epoch=epoch)
+        assert _canonical(relation) == expected
+        assert relation.events["s_n1"] == pytest.approx(0.5)
+        assert relation.events["s_n2"] == pytest.approx(0.25)
+
+
+def test_unrecoverable_seeded_event_raises_precisely():
+    """An event seeded outside the log, never recorded by any logged
+    change set, is unrecoverable — the documented contract."""
+    derived = TPTuple(("d",), land(Var("u1"), Var("u2")), Interval(0, 4), 0.1)
+    seeded = TPRelation(
+        "u", TPSchema(("k",)), [derived], {"u1": 0.4, "u2": 0.9}, validate=False
+    )
+    store = SegmentStore.from_relation(seeded)
+    store.delete([("d", 0, 4)])
+    gc.collect()
+    with pytest.raises(SnapshotUnavailableError, match="seeded outside"):
+        store.snapshot(epoch=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "reinsert"]),
+            st.integers(min_value=0, max_value=4),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_random_delta_scripts_reconstruct_every_epoch(script):
+    """Delete-then-delete across epochs, re-inserts, interleaved facts:
+    every intermediate epoch must reconstruct bit-identically against the
+    oracle snapshot recorded when it was current."""
+    store = SegmentStore("h", ("k",))
+    live: dict[int, tuple] = {}
+    oracles = {store.epoch: _canonical(store.snapshot())}
+    for action, slot in script:
+        fact = f"f{slot}"
+        if action == "insert" and slot not in live:
+            live[slot] = (fact, slot * 10, slot * 10 + 5)
+            store.insert([(fact, slot * 10, slot * 10 + 5, 0.5)])
+        elif action == "delete" and slot in live:
+            _, ts, te = live.pop(slot)
+            store.delete([(fact, ts, te)])
+        elif action == "reinsert":
+            if slot in live:
+                _, ts, te = live.pop(slot)
+                store.delete([(fact, ts, te)])
+            live[slot] = (fact, slot * 10, slot * 10 + 5)
+            store.insert([(fact, slot * 10, slot * 10 + 5, 0.7)])
+        else:
+            continue
+        oracles[store.epoch] = _canonical(store.snapshot())
+    gc.collect()
+    for epoch, expected in oracles.items():
+        assert _canonical(store.snapshot(epoch=epoch)) == expected, (
+            f"epoch {epoch} did not reconstruct bit-identically"
+        )
