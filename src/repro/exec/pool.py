@@ -71,19 +71,31 @@ def _map_guarded(pool: Any, tasks: list) -> list:
     process but never resubmits the task the victim was holding, so the
     map's result would simply never become ready.  We watch the worker
     set (``pool._pool`` — internal, but stable across every CPython 3.x)
-    while waiting: a changed pid set or a non-``None`` exitcode means a
-    worker died, and we raise :class:`WorkerDiedError` rather than wait
-    forever.  Exceptions raised *by* a task propagate unchanged through
-    ``get()``.
+    while waiting: a vanished baseline pid or a non-``None`` exitcode
+    means a worker died, and we raise :class:`WorkerDiedError` rather
+    than wait forever.  Because that same maintenance thread mutates
+    ``pool._pool`` concurrently, every check snapshots the list once and
+    tolerates ``pid is None`` (a replacement mid-start is not a death).
+
+    Infrastructure failures — a pool whose workers are gone before the
+    submit, a broken result pipe — are classified here as
+    :class:`WorkerDiedError` too, so :func:`run_tasks` can retry on a
+    fresh pool.  Exceptions raised *by* a task propagate unchanged
+    through ``get()`` and are never retried.
     """
-    result = pool.map_async(run_task, tasks, chunksize=1)
-    baseline = {proc.pid for proc in pool._pool}
+    try:
+        result = pool.map_async(run_task, tasks, chunksize=1)
+    except (OSError, ValueError, multiprocessing.ProcessError) as exc:
+        raise WorkerDiedError(f"could not submit to the pool: {exc}") from exc
+    procs = list(pool._pool)
+    baseline = {proc.pid for proc in procs if proc.pid is not None}
     while True:
         result.wait(_WATCH_INTERVAL)
         if result.ready():
             return result.get()
         procs = list(pool._pool)
-        if {proc.pid for proc in procs} != baseline or any(
+        pids = {proc.pid for proc in procs if proc.pid is not None}
+        if not baseline <= pids or any(
             proc.exitcode is not None for proc in procs
         ):
             raise WorkerDiedError(
@@ -100,14 +112,20 @@ def run_tasks(tasks: list, workers: int) -> list:
     fails too, the batch runs inline serially with a
     :class:`RuntimeWarning` — correctness is preserved (tasks are pure,
     so re-running a lost task is safe), only parallelism is lost.
-    Ordinary exceptions raised *by* a task propagate unchanged.
+    Ordinary exceptions raised *by* a task — ``OSError`` from file I/O
+    inside a worker included — propagate unchanged on the first raise:
+    only :class:`WorkerDiedError`, the classification
+    :func:`_map_guarded` reserves for transport trouble, triggers the
+    retry.  (A broader ``except OSError`` here would silently re-execute
+    a batch whose *task* failed, and could surface a different error
+    than the first run's.)
     """
     if len(tasks) == 1:
         return [run_task(tasks[0])]
     for attempt in range(2):
         try:
             return _map_guarded(get_pool(workers), tasks)
-        except (OSError, multiprocessing.ProcessError):
+        except WorkerDiedError:
             _discard(workers)
     warnings.warn(
         f"worker pool failed twice ({workers} workers); executing "
@@ -130,16 +148,31 @@ def pool_worker_pids() -> list[int]:
 
     The serving layer's shutdown contract is "no leaked exec-pool
     workers"; this is the observable the smoke harness checks against
-    (``os.kill(pid, 0)`` after exit must fail for each).
+    (``os.kill(pid, 0)`` after exit must fail for each).  ``pool._pool``
+    is snapshotted once per pool — the maintenance thread may be
+    swapping workers while we look.
     """
     pids: list[int] = []
-    for pool in _POOLS.values():
+    for pool in list(_POOLS.values()):
         pids.extend(
             proc.pid
-            for proc in pool._pool
+            for proc in list(pool._pool)
             if proc.pid is not None and proc.exitcode is None
         )
     return pids
+
+
+def forget_pools() -> None:
+    """Drop every registry entry without touching the processes.
+
+    A forked child inherits ``_POOLS`` by copy, but the workers inside
+    those pools are the *parent's* children: the child may neither join
+    them (``multiprocessing`` asserts parenthood) nor terminate them
+    (they are the parent's live infrastructure).  A long-lived forked
+    process — a serve replica, say — calls this first, so its own
+    shutdown only ever reaps pools it created itself.
+    """
+    _POOLS.clear()
 
 
 def shutdown_pools(workers: Optional[int] = None) -> None:

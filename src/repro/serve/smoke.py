@@ -1,20 +1,28 @@
 """End-to-end serve smoke: launch, exercise, SIGTERM, verify cleanup.
 
-Run as ``python -m repro.serve.smoke``; CI's serve-smoke job does.  The
-script is the serving layer's acceptance walk in one process tree:
+Run as ``python -m repro.serve.smoke``; CI's serve-smoke job does (and
+the serve-replicas job re-runs it with ``--replicas 2``).  The script is
+the serving layer's acceptance walk in one process tree:
 
 1. launch ``python -m repro.serve --port 0 --data-dir D --workers 2``
-   and parse the ready line for the bound port;
+   (plus ``--replicas N`` when requested) and parse the ready line for
+   the bound port;
 2. create relations, run a query twice — the second must be served from
    cache — commit, and see the re-run miss (epoch invalidation) with
    the new row visible;
-3. collect the exec-pool worker PIDs via the ``stats`` op, SIGTERM the
-   server mid-conversation, and assert: exit code 0, every worker PID
-   gone, and the data directory recovers to exactly the committed state.
+3. with replicas: open a second, read-only connection — its queries are
+   routed to a replica — and check its answers are bit-identical to the
+   writer's, its repeat is served from the replica's cache, and the
+   commit fan-out made the write visible;
+4. collect the exec-pool worker PIDs (and replica PIDs) via the
+   ``stats`` op, SIGTERM the server mid-conversation, and assert: exit
+   code 0, every collected PID gone, and the data directory recovers to
+   exactly the committed state.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import signal
 import subprocess
@@ -30,22 +38,25 @@ READY_PREFIX = "serving on "
 STARTUP_DEADLINE_S = 60.0
 
 
-def _launch(data_dir: Path) -> tuple[subprocess.Popen, int]:
+def _launch(data_dir: Path, replicas: int = 0) -> tuple[subprocess.Popen, int]:
     """Start a server subprocess; returns (process, bound port)."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        "0",
+        "--data-dir",
+        str(data_dir),
+        "--workers",
+        "2",
+    ]
+    if replicas:
+        argv += ["--replicas", str(replicas)]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.serve",
-            "--host",
-            "127.0.0.1",
-            "--port",
-            "0",
-            "--data-dir",
-            str(data_dir),
-            "--workers",
-            "2",
-        ],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -65,8 +76,8 @@ def _launch(data_dir: Path) -> tuple[subprocess.Popen, int]:
             return process, int(line.strip().rsplit(":", 1)[1])
 
 
-def _exercise(port: int) -> list[int]:
-    """The scripted conversation; returns the exec-pool worker PIDs."""
+def _exercise(port: int, replicas: int = 0) -> list[int]:
+    """The scripted conversation; returns every PID that must die on exit."""
     with ServeClient("127.0.0.1", port) as client:
         assert client.ping()["pong"] is True
         client.create(
@@ -94,7 +105,30 @@ def _exercise(port: int) -> list[int]:
 
         stats = client.stats()["stats"]
         assert stats["results"]["hits"] >= 1
-        return list(stats["pool_workers"])
+        pids = list(stats["pool_workers"])
+
+        if replicas:
+            replica_stats = stats["replicas"]
+            assert replica_stats["count"] == replicas, replica_stats
+            assert len(replica_stats["pids"]) == replicas, (
+                f"expected {replicas} live replicas, got {replica_stats}"
+            )
+            assert replica_stats["respawns"] == 0, replica_stats
+            pids.extend(replica_stats["pids"])
+            # A second, read-only connection exercises the replica path:
+            # the commit fan-out must have made the write visible there,
+            # and repeated reads hit that replica's own result cache.
+            with ServeClient("127.0.0.1", port) as reader:
+                routed = reader.query("a | b", optimize="safe")
+                assert routed["relation"] == after["relation"], (
+                    "replica answer must be bit-identical to the writer's"
+                )
+                repeat = reader.query("a | b", optimize="safe")
+                assert repeat["cached"] is True, (
+                    "replica repeat must be served from its result cache"
+                )
+                assert repeat["relation"] == after["relation"]
+        return pids
 
 
 def _assert_dead(pids: list[int]) -> None:
@@ -103,7 +137,7 @@ def _assert_dead(pids: list[int]) -> None:
             os.kill(pid, 0)
         except ProcessLookupError:
             continue
-        raise AssertionError(f"exec-pool worker {pid} leaked past shutdown")
+        raise AssertionError(f"server child {pid} leaked past shutdown")
 
 
 def _assert_recoverable(data_dir: Path) -> None:
@@ -113,13 +147,23 @@ def _assert_recoverable(data_dir: Path) -> None:
         assert facts == {"milk", "chips", "beer"}, f"recovered {facts!r}"
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
     """Run the smoke sequence; 0 on success (assertions fail loudly)."""
+    parser = argparse.ArgumentParser(prog="python -m repro.serve.smoke")
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the server with N read replicas and exercise the "
+        "replica routing path too (default 0)",
+    )
+    args = parser.parse_args(argv)
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         data_dir = Path(tmp) / "data"
-        process, port = _launch(data_dir)
+        process, port = _launch(data_dir, args.replicas)
         try:
-            pids = _exercise(port)
+            pids = _exercise(port, args.replicas)
             process.send_signal(signal.SIGTERM)
             rc = process.wait(timeout=STARTUP_DEADLINE_S)
             assert rc == 0, f"server exited {rc} on SIGTERM"
@@ -129,7 +173,7 @@ def main() -> int:
                 process.wait()
         _assert_dead(pids)
         _assert_recoverable(data_dir)
-    print("serve smoke OK")
+    print("serve smoke OK" + (f" (replicas={args.replicas})" if args.replicas else ""))
     return 0
 
 

@@ -28,7 +28,7 @@ DESIGN = REPO / "DESIGN.md"
 FLAG = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
 
 #: The flags the README is required to document (PR-7 acceptance, plus
-#: the PR-8 serving CLI).
+#: the PR-8 serving CLI and the PR-10 replica tier).
 REQUIRED_IN_README = {
     "--parallel",
     "--columnar",
@@ -40,6 +40,7 @@ REQUIRED_IN_README = {
     "--workers",
     "--request-timeout",
     "--cache-size",
+    "--replicas",
 }
 
 
@@ -68,6 +69,7 @@ def test_front_door_documents_exist():
     assert "## §13" in design, "DESIGN.md must cover the suite (§13)"
     assert "## §14" in design, "DESIGN.md must cover the query service (§14)"
     assert "## §15" in design, "DESIGN.md must cover the columnar engine (§15)"
+    assert "## §16" in design, "DESIGN.md must cover the read-replica tier (§16)"
 
 
 @pytest.mark.parametrize("path", [README, BENCH_DOC], ids=lambda p: p.name)

@@ -64,6 +64,12 @@ def fake_run_task(task: tuple) -> list:
         return ["ran-after-retry"]
     if tag == "boom":
         raise ValueError("task-level failure")
+    if tag == "oserr":
+        # Record the attempt first, so a misclassifying retry (the bug:
+        # task OSError treated as transport failure) leaves two lines.
+        with open(task[1], "a") as fh:
+            fh.write("attempt\n")
+        raise OSError("task-level I/O failure")
     raise AssertionError(f"unknown test task {tag!r}")
 
 
@@ -131,3 +137,141 @@ def test_persistent_death_falls_back_to_serial():
 def test_single_task_runs_inline_without_pool():
     assert pool_mod.run_tasks([("die",)], workers=4) == [["survived-inline"]]
     assert not pool_mod._POOLS
+
+
+def test_task_oserror_propagates_on_first_raise(tmp_path):
+    """Regression: an OSError raised *by a task* is not a transport failure.
+
+    The old handler caught ``(OSError, ProcessError)`` around the whole
+    map, so a task-level OSError silently re-executed the batch up to
+    twice (and could surface a different error than the first run's).
+    It must propagate unchanged on the first raise: exactly one
+    execution, no fresh-pool retry, no fallback warning.
+    """
+    marker = str(tmp_path / "attempts")
+    with warnings.catch_warnings(record=True) as captured:
+        warnings.simplefilter("always")
+        with pytest.raises(OSError, match="task-level I/O failure"):
+            pool_mod.run_tasks([("echo", 0), ("oserr", marker)], workers=2)
+    with open(marker) as fh:
+        attempts = fh.readlines()
+    assert len(attempts) == 1, f"task re-executed {len(attempts)} times"
+    assert not [w for w in captured if issubclass(w.category, RuntimeWarning)]
+
+
+class _FakeProc:
+    def __init__(self, pid, exitcode=None):
+        self.pid = pid
+        self.exitcode = exitcode
+
+
+class _FakeResult:
+    """A map result that becomes ready after N readiness checks."""
+
+    def __init__(self, value, ready_after=0):
+        self._value = value
+        self._checks = ready_after
+
+    def wait(self, timeout):
+        pass
+
+    def ready(self):
+        self._checks -= 1
+        return self._checks < 0
+
+    def get(self):
+        return self._value
+
+
+class _FakePool:
+    """Just enough of ``multiprocessing.Pool`` for ``_map_guarded``.
+
+    ``schedule`` maps check number -> worker list, emulating the
+    maintenance thread swapping ``pool._pool`` entries between polls.
+    """
+
+    def __init__(self, initial, result, schedule=None, submit_exc=None):
+        self._workers = list(initial)
+        self._result = result
+        self._schedule = schedule or {}
+        self._submit_exc = submit_exc
+        self._checks = 0
+
+    def map_async(self, fn, tasks, chunksize=1):
+        if self._submit_exc is not None:
+            raise self._submit_exc
+        return self._result
+
+    def terminate(self):  # the autouse fixture's shutdown reaches these
+        pass
+
+    def join(self):
+        pass
+
+    @property
+    def _pool(self):
+        self._checks += 1
+        swap = self._schedule.get(self._checks)
+        if swap is not None:
+            self._workers = list(swap)
+        return self._workers
+
+
+def test_map_guarded_tolerates_replacement_with_none_pid():
+    """A half-started replacement worker (pid None) is not a death.
+
+    The maintenance thread may have appended a replacement whose pid is
+    not set yet; the old code's pid-set comparison could misread that
+    (or crash on the reaped proc).  The snapshot discipline must let the
+    map finish normally.
+    """
+    workers = [_FakeProc(101), _FakeProc(102)]
+    pool = _FakePool(
+        workers,
+        _FakeResult(["done"], ready_after=3),
+        # After the baseline snapshot, a None-pid replacement appears
+        # alongside the (still live) originals: benign.
+        schedule={2: [_FakeProc(101), _FakeProc(102), _FakeProc(None)]},
+    )
+    assert pool_mod._map_guarded(pool, [("echo", 0), ("echo", 1)]) == ["done"]
+
+
+def test_map_guarded_detects_vanished_baseline_pid():
+    """A baseline worker gone from the pool list is a death."""
+    pool = _FakePool(
+        [_FakeProc(201), _FakeProc(202)],
+        _FakeResult(["never"], ready_after=100),
+        schedule={2: [_FakeProc(202), _FakeProc(None)]},
+    )
+    with pytest.raises(WorkerDiedError, match="died mid-map"):
+        pool_mod._map_guarded(pool, [("echo", 0), ("echo", 1)])
+
+
+def test_map_guarded_detects_nonnone_exitcode():
+    """A worker with an exitcode set is a death even if its pid lingers."""
+    pool = _FakePool(
+        [_FakeProc(301), _FakeProc(302)],
+        _FakeResult(["never"], ready_after=100),
+        schedule={2: [_FakeProc(301), _FakeProc(302, exitcode=-9)]},
+    )
+    with pytest.raises(WorkerDiedError, match="died mid-map"):
+        pool_mod._map_guarded(pool, [("echo", 0), ("echo", 1)])
+
+
+def test_map_guarded_classifies_submit_failure_as_transport():
+    """OSError from the submission itself (dead pool) is transport trouble."""
+    pool = _FakePool(
+        [_FakeProc(401)],
+        _FakeResult(["never"]),
+        submit_exc=OSError("broken pipe"),
+    )
+    with pytest.raises(WorkerDiedError, match="could not submit"):
+        pool_mod._map_guarded(pool, [("echo", 0), ("echo", 1)])
+
+
+def test_pool_worker_pids_tolerates_none_pids(monkeypatch):
+    """pool_worker_pids snapshots each pool and skips half-started procs."""
+    fake = _FakePool([_FakeProc(501), _FakeProc(None), _FakeProc(502, -9)],
+                     _FakeResult([]))
+    monkeypatch.setattr(pool_mod, "_POOLS", {2: fake})
+    assert pool_mod.pool_worker_pids() == [501]

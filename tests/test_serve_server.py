@@ -240,4 +240,4 @@ def test_sigterm_smoke_leaves_a_recoverable_data_dir():
     """Full subprocess round trip: serve, exercise, SIGTERM, recover."""
     from repro.serve import smoke
 
-    assert smoke.main() == 0
+    assert smoke.main([]) == 0
